@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Scale selection: set ``REPRO_SCALE=small|medium|paper`` (default ``medium``).
+Each benchmark runs its experiment once per round (the experiments are
+deterministic; timing variance comes only from the host) and attaches the
+rendered table to the benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "medium")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function under pytest-benchmark and print it."""
+
+    def _run(fn, *args, floatfmt="{:.2f}", **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        rendered = result.render(floatfmt)
+        print()
+        print(rendered)
+        benchmark.extra_info["table"] = rendered
+        return result
+
+    return _run

@@ -1,0 +1,37 @@
+"""Ablation benches: block size, domains, zero-communication machine,
+receiver contention."""
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    run_block_size,
+    run_contention,
+    run_domains_ablation,
+    run_zero_comm,
+)
+
+
+def test_block_size(run_experiment, scale):
+    res = run_experiment(run_block_size, scale)
+    panels = [row[1] for row in res.rows]
+    assert panels == sorted(panels, reverse=True)  # smaller B -> more panels
+
+
+def test_domains(run_experiment, scale):
+    res = run_experiment(run_domains_ablation, scale)
+    fewer = sum(
+        1 for d in res.data.values() if d["bytes_with"] <= d["bytes_without"]
+    )
+    assert fewer >= len(res.data) * 0.7  # domains cut volume almost always
+
+
+def test_zero_comm(run_experiment, scale):
+    res = run_experiment(run_zero_comm, scale, floatfmt="{:.3f}")
+    for name, eff, bound, gap in res.rows:
+        assert gap >= -1e-9
+
+
+def test_contention(run_experiment, scale):
+    res = run_experiment(run_contention, scale)
+    gains = [d["gain_under_contention"] for d in res.data.values()]
+    assert np.mean(gains) > 0  # the heuristic's win survives congestion

@@ -1,0 +1,16 @@
+"""Regenerates §4.2(a): the processor-aware alternative heuristic.
+
+Shape: balance improves beyond the basic heuristic, performance roughly
+does not (the paper's evidence that balance stops being the bottleneck).
+"""
+
+from repro.experiments.alt_heuristic import run
+
+
+def test_alt_heuristic(run_experiment, scale):
+    res = run_experiment(run, scale)
+    mean_bal = res.data["mean_balance_improvement"]
+    mean_perf = res.data["mean_performance_improvement"]
+    print(f"\nbalance improvement {mean_bal:.1f}% vs "
+          f"performance improvement {mean_perf:.1f}%")
+    assert mean_bal > mean_perf - 2.0

@@ -1,0 +1,12 @@
+"""Regenerates the §5 closing question: dense problems, cyclic vs remapped."""
+
+import numpy as np
+
+from repro.experiments.dense_study import run
+
+
+def test_dense_study(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.0f}")
+    gains = [row[4] for row in res.rows]
+    # The heuristic never loses to the specialized-dense (cyclic) config.
+    assert np.mean(gains) >= -1.0

@@ -1,0 +1,29 @@
+"""Regenerates the §5 discussion studies: critical-path headroom,
+subtree-to-subcube columns, and the priority-scheduling refinement."""
+
+import numpy as np
+
+from repro.experiments.discussion import (
+    run_critical_path,
+    run_priority_scheduling,
+    run_subcube,
+)
+
+
+def test_critical_path_headroom(run_experiment, scale):
+    res = run_experiment(run_critical_path, scale, floatfmt="{:.3f}")
+    for name, stats in res.data.items():
+        # the DAG admits more parallelism than is achieved (paper: 30-50%)
+        assert stats["cp_max_efficiency"] >= stats["achieved_efficiency"]
+
+
+def test_subcube_tradeoff(run_experiment, scale):
+    res = run_experiment(run_subcube, scale)
+    deltas = [d["volume_change_pct"] for d in res.data.values()]
+    # subtree-to-subcube reduces volume on average (paper: up to -30%)
+    assert np.mean(deltas) < 5.0
+
+
+def test_priority_scheduling(run_experiment, scale):
+    res = run_experiment(run_priority_scheduling, scale, floatfmt="{:.1f}")
+    assert len(res.rows) == 10

@@ -1,0 +1,10 @@
+"""Regenerates Figure 1: efficiency and overall balance, cyclic mapping."""
+
+from repro.experiments.figure1 import run
+
+
+def test_figure1(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.3f}")
+    for name, P, eff, bal in res.rows:
+        assert eff <= bal + 1e-9, name
+        assert 0 < eff < 1

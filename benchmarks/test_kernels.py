@@ -1,0 +1,45 @@
+"""Microbenchmarks of the numeric substrate (host-BLAS analogue of the
+paper's §3.1 "20-40 Mflops per node" kernel measurement) and of the
+discrete-event simulator's throughput."""
+
+import numpy as np
+
+from repro.experiments.pipeline import prepare_problem
+from repro.fanout import block_owners, simulate_fanout
+from repro.mapping import cyclic_map, square_grid
+from repro.numeric import bdiv_kernel, bfac_kernel, bmod_kernel
+
+
+def test_bfac_kernel_48(benchmark):
+    rng = np.random.default_rng(0)
+    B = rng.standard_normal((48, 48))
+    D = B @ B.T + 48 * np.eye(48)
+    L, flops = benchmark(bfac_kernel, D)
+    assert L.shape == (48, 48)
+
+
+def test_bdiv_kernel_48(benchmark):
+    rng = np.random.default_rng(1)
+    B = rng.standard_normal((48, 48))
+    L = np.linalg.cholesky(B @ B.T + 48 * np.eye(48))
+    X = rng.standard_normal((192, 48))
+    out, flops = benchmark(bdiv_kernel, X, L)
+    assert out.shape == X.shape
+
+
+def test_bmod_kernel_48(benchmark):
+    rng = np.random.default_rng(2)
+    A = rng.standard_normal((192, 48))
+    B = rng.standard_normal((96, 48))
+    U, flops = benchmark(bmod_kernel, A, B)
+    assert U.shape == (192, 96)
+
+
+def test_des_throughput(benchmark, scale):
+    """Events per second of the fan-out simulator on a mid-size graph."""
+    prep = prepare_problem("BCSSTK15", scale)
+    tg = prep.taskgraph
+    g = square_grid(64)
+    owners = block_owners(tg, cyclic_map(tg.npanels, g))
+    result = benchmark(simulate_fanout, tg, owners, g.P)
+    assert result.events > 0

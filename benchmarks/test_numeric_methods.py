@@ -1,0 +1,60 @@
+"""Host-machine numeric factorization benchmarks.
+
+Races the three sequential organizations — simplicial, block fan-out
+(right-looking), and multifrontal — over the same symbolic structure, the
+comparison the paper's companion work [13] studies. Each result is verified
+against A before timing counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blocks import BlockPartition, BlockStructure
+from repro.experiments.pipeline import prepare_problem
+from repro.numeric import BlockCholesky, MultifrontalCholesky, simplicial_cholesky
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    # medium-scale BCSSTK15 stand-in: ~1.5k equations at the default scale.
+    prep = prepare_problem("BCSSTK15", scale if scale != "paper" else "medium")
+    return prep
+
+
+def test_block_fanout_numeric(benchmark, prepared):
+    sf, bs = prepared.symbolic, prepared.structure
+
+    def run():
+        return BlockCholesky(bs, sf.A).factor().to_csc()
+
+    L = benchmark(run)
+    assert abs(L @ L.T - sf.A).max() < 1e-7
+
+
+def test_multifrontal_numeric(benchmark, prepared):
+    sf = prepared.symbolic
+
+    def run():
+        return MultifrontalCholesky(sf).factor().to_csc()
+
+    L = benchmark(run)
+    assert abs(L @ L.T - sf.A).max() < 1e-7
+
+
+def test_simplicial_numeric(benchmark, prepared):
+    sf = prepared.symbolic
+    L = benchmark.pedantic(
+        lambda: simplicial_cholesky(sf.A), rounds=1, iterations=1
+    )
+    assert abs(L @ L.T - sf.A).max() < 1e-7
+
+
+def test_scipy_dense_reference(benchmark, prepared):
+    """Dense LAPACK on the same (permuted) matrix — an upper-bound
+    comparator for the small benchmark sizes."""
+    sf = prepared.symbolic
+    if sf.n > 4000:
+        pytest.skip("dense reference too large at this scale")
+    Ad = sf.A.toarray()
+    L = benchmark(np.linalg.cholesky, Ad)
+    assert L.shape == Ad.shape

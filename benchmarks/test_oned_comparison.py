@@ -1,0 +1,25 @@
+"""Regenerates the §1 baseline comparison: 1-D column vs 2-D block methods."""
+
+from repro.experiments.oned_comparison import (
+    run_critical_path_scaling,
+    run_performance,
+    run_volume_scaling,
+)
+
+
+def test_volume_scaling(run_experiment, scale):
+    res = run_experiment(run_volume_scaling, scale)
+    ratios = [row[4] for row in res.rows]
+    assert ratios[-1] > ratios[0] > 1.0  # 1-D moves more data, gap widens
+
+
+def test_critical_path_scaling(run_experiment, scale):
+    res = run_experiment(run_critical_path_scaling)
+    ratios = [row[3] for row in res.rows]
+    assert ratios[-1] > 2 * ratios[0]  # ~O(k^2) vs ~O(k)
+
+
+def test_performance(run_experiment, scale):
+    res = run_experiment(run_performance, scale, floatfmt="{:.1f}")
+    wins = sum(1 for row in res.rows if row[2] > row[1])
+    assert wins >= len(res.rows) // 2  # 2-D wins broadly

@@ -1,0 +1,28 @@
+"""Real multicore speedup of the shared-memory parallel factorization.
+
+The host analogue of the paper's experiment: the same task DAG the Paragon
+simulator schedules, executed by a thread pool with GIL-releasing BLAS.
+Speedups here depend on the host's cores and the problem's block-level
+concurrency; we assert correctness and report the timing.
+"""
+
+import pytest
+
+from repro.experiments.pipeline import prepare_problem
+from repro.numeric.parallel import parallel_block_cholesky
+
+
+@pytest.fixture(scope="module")
+def prepared(scale):
+    return prepare_problem("CUBE30", scale if scale != "paper" else "medium")
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 4])
+def test_parallel_factor(benchmark, prepared, nthreads):
+    bs, sf, tg = prepared.structure, prepared.symbolic, prepared.taskgraph
+    res = benchmark.pedantic(
+        lambda: parallel_block_cholesky(bs, sf.A, tg, nthreads=nthreads),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.tasks_executed == tg.ntasks

@@ -1,0 +1,13 @@
+"""Regenerates §4.2(b): relatively-prime grids vs square cyclic and the
+remapping heuristic."""
+
+from repro.experiments.prime_grids import run
+
+
+def test_prime_grids(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.0f}")
+    prime = res.data["mean_prime_improvement"]
+    heur = res.data["mean_heuristic_improvement"]
+    for P in prime:
+        print(f"\nP={P}: prime-grid {prime[P]:.0f}% vs heuristic {heur[P]:.0f}%")
+        assert prime[P] > 0  # prime grids beat square cyclic

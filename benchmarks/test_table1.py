@@ -1,0 +1,8 @@
+"""Regenerates Table 1: benchmark matrix statistics."""
+
+from repro.experiments.table1 import run
+
+
+def test_table1(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.1f}")
+    assert len(res.rows) == 10

@@ -1,0 +1,19 @@
+"""Regenerates Table 2: balance statistics of the 2-D cyclic mapping.
+
+Shape assertions: on average the diagonal balance is the most depressed
+(the paper's §3.2 finding) and overall balance is below each decomposed
+balance for every matrix.
+"""
+
+import numpy as np
+
+from repro.experiments.table2 import run
+
+
+def test_table2(run_experiment, scale):
+    res = run_experiment(run, scale, P=64)
+    rows = np.array([[r[1], r[2], r[3], r[4]] for r in res.rows])
+    row_b, col_b, diag_b, overall = rows.T
+    assert (overall <= np.minimum(np.minimum(row_b, col_b), diag_b) + 1e-9).all()
+    # Diagonal imbalance is the most severe on average (paper §3.2).
+    assert diag_b.mean() <= col_b.mean() + 0.05

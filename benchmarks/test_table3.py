@@ -1,0 +1,19 @@
+"""Regenerates Table 3: per-heuristic balance on the BCSSTK31 stand-in."""
+
+from repro.experiments.table3 import run
+
+
+def test_table3(run_experiment, scale):
+    res = run_experiment(run, scale, P=64)
+    overall = {row[0]: row[4] for row in res.rows}
+    diag = {row[0]: row[3] for row in res.rows}
+    # Every remapping heuristic beats cyclic overall, and all of them
+    # relieve the diagonal imbalance (paper §4.1). At the tiny "small"
+    # scale there are too few panels per processor for the weakest
+    # heuristic (IN) to be reliable, so allow it slack there.
+    slack = 0.5 if scale == "small" else 1.0
+    for h in ("DW", "IN", "DN", "ID"):
+        assert overall[h] >= overall["CY"] * slack, h
+        assert diag[h] >= diag["CY"] - 0.05, h
+    for h in ("DW", "DN", "ID"):
+        assert overall[h] >= overall["CY"], h

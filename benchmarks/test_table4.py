@@ -1,0 +1,14 @@
+"""Regenerates Table 4: mean overall-balance improvement, 5x5 heuristics."""
+
+from repro.experiments.table4 import run
+from repro.mapping.heuristics import HEURISTICS
+
+
+def test_table4(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.0f}")
+    for P, means in res.data.items():
+        assert means[("CY", "CY")] == 0.0
+        # every row-remapped configuration improves on pure cyclic
+        for rh in ("DW", "DN", "ID"):
+            for ch in HEURISTICS:
+                assert means[(rh, ch)] > 0, (P, rh, ch)

@@ -1,0 +1,8 @@
+"""Regenerates Table 6: large benchmark matrix statistics."""
+
+from repro.experiments.table6 import run
+
+
+def test_table6(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.1f}")
+    assert len(res.rows) == 4

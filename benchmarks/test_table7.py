@@ -1,0 +1,16 @@
+"""Regenerates Table 7: cyclic vs ID/CY heuristic on 144 and 196 nodes.
+
+Shape assertion: the heuristic mapping wins on (nearly) every large problem,
+as in the paper (~20% mean improvement).
+"""
+
+import numpy as np
+
+from repro.experiments.table7 import run
+
+
+def test_table7(run_experiment, scale):
+    res = run_experiment(run, scale, floatfmt="{:.0f}")
+    improvements = np.array([row[4] for row in res.rows], dtype=float)
+    assert (improvements > 0).mean() >= 0.75
+    print(f"\nmean improvement {improvements.mean():.0f}% (paper: ~20%)")

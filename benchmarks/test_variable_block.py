@@ -1,0 +1,18 @@
+"""Regenerates the §5 variable-block-size study."""
+
+import numpy as np
+
+from repro.experiments.variable_block import run
+
+
+def test_variable_block(run_experiment, scale):
+    res = run_experiment(run, scale)
+    # Paper finding: stage-varying B does not improve overall balance on
+    # average, and it does not beat fixed B's performance on average.
+    bal_fixed = np.mean([d["fixed"]["balance"] for d in res.data.values()])
+    bal_var = np.mean([d["varying"]["balance"] for d in res.data.values()])
+    perf_fixed = np.mean([d["fixed"]["mflops"] for d in res.data.values()])
+    perf_var = np.mean([d["varying"]["mflops"] for d in res.data.values()])
+    print(f"\nbalance fixed {bal_fixed:.2f} vs varying {bal_var:.2f}; "
+          f"Mflops fixed {perf_fixed:.0f} vs varying {perf_var:.0f}")
+    assert bal_var <= bal_fixed + 0.1

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""PDE workload: scaling a 3-D Poisson-type solve across machine sizes.
+
+The paper's motivation is large PDE/engineering workloads whose sparse
+Cholesky factorization is the bottleneck. This example treats a 3-D cube
+(27-point stencil, nested-dissection ordered) as the model PDE problem and:
+
+* verifies the numeric path end to end (factor + solve, residual check);
+* sweeps the simulated machine from 4 to 196 processors, comparing the
+  cyclic and heuristic mappings — showing where each stops scaling;
+* reports communication volume growth, which for a 2-D block mapping grows
+  like sqrt(P) per processor (the asymptotic argument of §1).
+
+Run:  python examples/pde_scaling.py [k]   (cube is k x k x k, default 12)
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    problem = repro.cube3d_matrix(k)
+    sf = repro.symbolic_factor(problem.A, repro.order_problem(problem, "nd"))
+    part = repro.BlockPartition(sf, block_size=48)
+    structure = repro.BlockStructure(part)
+    wm = repro.WorkModel(structure)
+    tg = repro.TaskGraph(wm)
+    print(
+        f"CUBE{k}: n={problem.n}, nnz(L)={sf.factor_nnz:,}, "
+        f"ops={sf.factor_ops / 1e6:.0f}M, panels={part.npanels}"
+    )
+
+    # --- numeric verification on the actual matrix ------------------------
+    chol = repro.BlockCholesky(structure, sf.A).factor()
+    L = chol.to_csc()
+    b = np.ones(problem.n)
+    x = repro.solve_with_factor(L, b, sf.ordering)
+    print(f"solve residual: {np.max(np.abs(problem.A @ x - b)):.2e}")
+
+    # --- strong-scaling sweep ---------------------------------------------
+    print(
+        f"\n{'P':>5s} {'grid':>7s} {'cyclic':>8s} {'heur':>8s} {'gain':>6s} "
+        f"{'eff(heur)':>10s} {'MB/proc':>8s}"
+    )
+    for P in (4, 16, 36, 64, 100, 144, 196):
+        grid = repro.square_grid(P)
+        domains = repro.assign_domains(wm, P)
+        cyc = repro.run_fanout(
+            tg, repro.cyclic_map(part.npanels, grid),
+            domains=domains, factor_ops=sf.factor_ops,
+        )
+        heur = repro.run_fanout(
+            tg, repro.heuristic_map(wm, grid, "ID", "CY"),
+            domains=domains, factor_ops=sf.factor_ops,
+        )
+        gain = 100 * (heur.mflops / cyc.mflops - 1)
+        print(
+            f"{P:5d} {str(grid):>7s} {cyc.mflops:8.0f} {heur.mflops:8.0f} "
+            f"{gain:+5.0f}% {heur.efficiency:10.2f} "
+            f"{heur.comm_bytes / 1e6 / P:8.2f}"
+        )
+
+    print(
+        "\nnotes: gains grow with P (imbalance hurts more as the machine "
+        "grows);\nper-processor communication grows sublinearly — the 2-D "
+        "mapping's O(sqrt(P)) advantage."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Analysis tools: critical paths and communication volumes.
+
+These implement the diagnostics of §5: the critical-path bound that shows
+there is concurrency left after the remapping heuristics are applied, and
+the static communication-volume accounting used to evaluate
+subtree-to-subcube mappings.
+"""
+
+from repro.analysis.critical_path import critical_path
+from repro.analysis.comm_volume import communication_volume
+from repro.analysis.memory import memory_usage
+from repro.analysis.tree_stats import tree_statistics, work_by_depth
+from repro.analysis.utilization import utilization_profile
+
+__all__ = [
+    "critical_path",
+    "communication_volume",
+    "memory_usage",
+    "tree_statistics",
+    "work_by_depth",
+    "utilization_profile",
+]

@@ -1,0 +1,93 @@
+"""Critical-path analysis of the block task DAG.
+
+The critical path is the longest dependency chain through the BFAC/BDIV/BMOD
+DAG, measured in task time with communication ignored and unlimited
+processors — a coarse lower bound on parallel runtime and hence an upper
+bound on useful parallelism (§5 uses it to show the post-remapping gap is a
+scheduling problem, not a concurrency shortage).
+
+BMODs targeting the same block are treated as concurrent (each needs only
+its sources), which makes the bound optimistic, i.e. still a valid lower
+bound on runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fanout.tasks import TaskGraph
+from repro.machine.params import PARAGON, MachineParams
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    length_seconds: float
+    t_sequential: float
+
+    @property
+    def max_speedup(self) -> float:
+        """Upper bound on speedup: ``t_seq / critical_path``."""
+        return self.t_sequential / self.length_seconds
+
+    def max_efficiency(self, P: int) -> float:
+        """Upper bound on efficiency at P processors from the path alone."""
+        return min(1.0, self.max_speedup / P)
+
+
+def critical_path(
+    tg: TaskGraph, machine: MachineParams = PARAGON
+) -> CriticalPathReport:
+    """Longest chain through the task DAG, in seconds of task time."""
+    wm = tg.workmodel
+    structure = wm.structure
+    N = tg.npanels
+    key = wm._key_lookup
+    widths = structure.partition.widths.astype(np.int64)
+
+    avail = np.zeros(tg.nblocks)  # completion time of each block
+    mod_ready = np.zeros(tg.nblocks)  # latest BMOD finish per destination
+
+    def dur(flops):
+        return (flops + machine.op_fixed_flops) / machine.flop_rate
+
+    from repro.blocks.workmodel import chol_flops
+
+    for k in range(N):
+        w = int(widths[k])
+        diag_b = key[k * N + k]
+        avail[diag_b] = mod_ready[diag_b] + dur(chol_flops(w))
+        brows = structure.block_rows[k]
+        counts = structure.block_counts[k].astype(np.int64)
+        m = brows.shape[0]
+        if m == 0:
+            continue
+        bid = np.fromiter(
+            (key[int(i) * N + k] for i in brows), count=m, dtype=np.int64
+        )
+        avail[bid] = (
+            np.maximum(mod_ready[bid], avail[diag_b]) + dur(counts * w * w)
+        )
+        ii, jj = np.tril_indices(m)
+        bmod_flops = np.where(
+            ii == jj,
+            counts[ii] * (counts[ii] + 1) * w,
+            2 * counts[ii] * counts[jj] * w,
+        )
+        finish = np.maximum(avail[bid[ii]], avail[bid[jj]]) + dur(bmod_flops)
+        dest = np.fromiter(
+            (
+                key[int(brows[a]) * N + int(brows[b])]
+                for a, b in zip(ii, jj)
+            ),
+            count=ii.shape[0],
+            dtype=np.int64,
+        )
+        np.maximum.at(mod_ready, dest, finish)
+
+    t_seq = float(np.sum(tg.task_flops + machine.op_fixed_flops) / machine.flop_rate)
+    return CriticalPathReport(
+        length_seconds=float(avail.max()) if avail.size else 0.0,
+        t_sequential=t_seq,
+    )

@@ -1,0 +1,72 @@
+"""Elimination-tree and supernode shape statistics.
+
+These summarize the structural properties that drive the paper's story: tree
+height (a critical-path proxy), the supernode size distribution (block
+regularity), and the work profile by depth (why the Increasing-Depth
+heuristic is the natural sparse-aware ordering key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.symbolic.structure import SymbolicFactor
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    height: int
+    nleaves: int
+    mean_depth: float
+    nsupernodes: int
+    max_supernode: int
+    mean_supernode: float
+    supernodes_ge_blocksize: int
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return [
+            ("etree height", self.height),
+            ("leaves", self.nleaves),
+            ("mean depth", round(self.mean_depth, 2)),
+            ("supernodes", self.nsupernodes),
+            ("max supernode width", self.max_supernode),
+            ("mean supernode width", round(self.mean_supernode, 2)),
+        ]
+
+
+def tree_statistics(sf: SymbolicFactor, block_size: int = 48) -> TreeStats:
+    parent = sf.parent
+    n = parent.shape[0]
+    has_child = np.zeros(n, dtype=bool)
+    valid = parent >= 0
+    has_child[parent[valid]] = True
+    widths = np.diff(sf.snode_ptr)
+    return TreeStats(
+        height=int(sf.depth.max()) if n else 0,
+        nleaves=int((~has_child).sum()),
+        mean_depth=float(sf.depth.mean()) if n else 0.0,
+        nsupernodes=sf.nsupernodes,
+        max_supernode=int(widths.max()) if widths.size else 0,
+        mean_supernode=float(widths.mean()) if widths.size else 0.0,
+        supernodes_ge_blocksize=int((widths >= block_size).sum()),
+    )
+
+
+def work_by_depth(sf: SymbolicFactor, nbins: int = 10) -> np.ndarray:
+    """Fraction of simplicial factor work per depth decile (root = bin 0).
+
+    Shows the ID heuristic's premise: column work correlates with
+    elimination-tree depth far better than with column number — it is
+    concentrated at shallow-to-middle depths (the separator supernodes) and
+    vanishes at the deepest leaves, so considering rows in depth order feeds
+    the greedy partitioner its heavy items early.
+    """
+    c = sf.cc.astype(np.float64) - 1
+    work = 1 + c + c * (c + 1)
+    depth = sf.depth
+    max_d = int(depth.max()) + 1 if depth.size else 1
+    bins = np.minimum((depth * nbins) // max_d, nbins - 1)
+    out = np.bincount(bins, weights=work, minlength=nbins)
+    return out / out.sum()

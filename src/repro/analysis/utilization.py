@@ -1,0 +1,68 @@
+"""Utilization profiles from simulator traces.
+
+The paper instrumented its code to find that "most of the processor time not
+spent performing useful factorization work is spent idle, waiting for the
+arrival of data" (§5). ``utilization_profile`` recovers that view from a
+recorded trace: the fraction of processors busy in each time bin, plus the
+per-kind work split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fanout.tasks import BDIV, BFAC, BMOD
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy-fraction time series and aggregate splits."""
+
+    bin_edges: np.ndarray  # nbins + 1 times
+    busy_fraction: np.ndarray  # nbins values in [0, 1]
+    kind_seconds: dict  # {"BFAC": s, "BDIV": s, "BMOD": s}
+    mean_utilization: float
+
+    def tail_utilization(self, fraction: float = 0.25) -> float:
+        """Mean busy fraction over the last ``fraction`` of the runtime —
+        the end-of-factorization starvation the paper attributes to the
+        shrinking root portion."""
+        k = max(1, int(self.busy_fraction.shape[0] * fraction))
+        return float(self.busy_fraction[-k:].mean())
+
+
+def utilization_profile(
+    trace: list,
+    P: int,
+    t_end: float,
+    nbins: int = 50,
+) -> UtilizationReport:
+    """Build a utilization report from a ``record_trace=True`` simulation."""
+    if t_end <= 0:
+        raise ValueError("t_end must be positive")
+    edges = np.linspace(0.0, t_end, nbins + 1)
+    busy = np.zeros(nbins)
+    kind_seconds = {BFAC: 0.0, BDIV: 0.0, BMOD: 0.0}
+    for rank, start, end, kind, _block in trace:
+        kind_seconds[kind] += end - start
+        lo = np.searchsorted(edges, start, side="right") - 1
+        hi = np.searchsorted(edges, end, side="left")
+        for i in range(max(0, lo), min(nbins, hi)):
+            overlap = min(end, edges[i + 1]) - max(start, edges[i])
+            if overlap > 0:
+                busy[i] += overlap
+    widths = np.diff(edges)
+    busy_fraction = busy / (widths * P)
+    total_busy = sum(kind_seconds.values())
+    return UtilizationReport(
+        bin_edges=edges,
+        busy_fraction=np.clip(busy_fraction, 0.0, 1.0),
+        kind_seconds={
+            "BFAC": kind_seconds[BFAC],
+            "BDIV": kind_seconds[BDIV],
+            "BMOD": kind_seconds[BMOD],
+        },
+        mean_utilization=float(total_busy / (P * t_end)),
+    )

@@ -1,0 +1,21 @@
+"""Baseline methods the paper argues against.
+
+§1 motivates 2-D block mappings by comparison with the traditional 1-D
+column mapping: linear-in-P communication volume and an O(k^2) critical path
+for k x k grids (vs O(sqrt(P)) and O(k) for 2-D blocks). This package
+implements that 1-D baseline so the comparison can be regenerated.
+"""
+
+from repro.baselines.oned import (
+    oned_block_owners,
+    oned_column_comm_volume,
+    oned_column_critical_path,
+    oned_column_flops,
+)
+
+__all__ = [
+    "oned_block_owners",
+    "oned_column_comm_volume",
+    "oned_column_critical_path",
+    "oned_column_flops",
+]

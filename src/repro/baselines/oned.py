@@ -1,0 +1,141 @@
+"""The 1-D column fan-out baseline.
+
+Two artifacts:
+
+* :func:`oned_block_owners` — 1-D block-column ownership (panel K's entire
+  column, all blocks, on processor ``K mod P``). Running the regular block
+  fan-out simulator under this ownership is the *block-column* variant of
+  the classic column fan-out method; under it a completed block must reach
+  every processor owning a destination column, so per-column fan-out grows
+  with min(P, |struct|) — the linear-in-P communication the paper cites [7].
+
+* :func:`oned_column_critical_path` — the critical path of the classic
+  *column-level* task decomposition (cdiv/cmod), in which the cmods into a
+  column serialize at its owner. For a k x k grid this path is O(k^2),
+  versus O(k) for the 2-D block decomposition — the second limitation of
+  1-D methods (§1, citing [11]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fanout.tasks import TaskGraph
+from repro.machine.params import PARAGON, MachineParams
+from repro.symbolic.colcounts import row_counts
+from repro.symbolic.structure import SymbolicFactor
+
+
+def oned_block_owners(tg: TaskGraph, P: int) -> np.ndarray:
+    """Ownership of the 1-D block-column mapping: block (I, J) on J mod P."""
+    if P < 1:
+        raise ValueError("P must be positive")
+    return (tg.block_J % P).astype(np.int64)
+
+
+def oned_column_comm_volume(
+    sf: SymbolicFactor, P: int, machine: MachineParams = PARAGON
+) -> int:
+    """Communication bytes of the classic *column* fan-out method.
+
+    Column j, once complete, is sent to every processor owning a column of
+    ``struct(L(:, j))`` (cyclic 1-D ownership). The paper's point [7]: the
+    distinct-owner count saturates at P, so total volume grows linearly in P
+    until saturation — versus O(sqrt(P)) for 2-D block mappings.
+
+    Computed analytically from the supernodal structure (column j of
+    supernode s with columns a..b-1 has struct ``{j+1..b-1} ∪ R_s``).
+    """
+    if P < 1:
+        raise ValueError("P must be positive")
+    total_bytes = 0
+    ptr = sf.snode_ptr
+    for s in range(sf.nsupernodes):
+        a, b = int(ptr[s]), int(ptr[s + 1])
+        rows = sf.snode_rows[s]
+        row_owners = np.unique(rows % P) if rows.size else np.empty(0, int)
+        # Columns of the supernode, last to first: struct grows by one
+        # in-supernode column each step.
+        for j in range(b - 1, a - 1, -1):
+            intra = np.arange(j + 1, b) % P
+            owners = np.union1d(row_owners, intra)
+            owners = owners[owners != (j % P)]
+            nwords = (b - 1 - j) + rows.shape[0]  # subdiagonal length
+            if owners.size and nwords:
+                total_bytes += owners.shape[0] * machine.message_bytes(nwords)
+    return total_bytes
+
+
+def oned_column_flops(cc: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-column (cdiv, cmod) flop costs of simplicial column Cholesky.
+
+    ``cdiv[j]`` = 1 sqrt + (cc[j]-1) divisions; a ``cmod(j, k)`` applying
+    column k to column j costs ``2 * cc_below`` multiply-adds where
+    ``cc_below`` is the overlap length; we charge the standard upper bound
+    ``2 * cc[j]`` per cmod, which preserves the asymptotics.
+    """
+    cc = np.asarray(cc, dtype=np.int64)
+    cdiv = cc  # 1 + (cc - 1)
+    cmod = 2 * cc
+    return cdiv, cmod
+
+
+@dataclass(frozen=True)
+class OnedCriticalPath:
+    length_seconds: float
+    t_sequential: float
+
+    @property
+    def max_speedup(self) -> float:
+        return self.t_sequential / self.length_seconds
+
+    def max_efficiency(self, P: int) -> float:
+        return min(1.0, self.max_speedup / P)
+
+
+def oned_column_critical_path(
+    sf: SymbolicFactor,
+    machine: MachineParams = PARAGON,
+) -> OnedCriticalPath:
+    """Critical path of the column task decomposition.
+
+    ``finish(j) = max over children k of finish(k) + nmods(j) * cmod_time(j)
+    + cdiv_time(j)``; the cmods into column j serialize because they all
+    update the same column vector at its owner — exactly the task structure
+    of the column fan-out method.
+
+    Column-level tasks are far finer than block tasks, so the per-task fixed
+    overhead is the BLAS-1 call cost; we charge 10% of the block operation's
+    fixed cost, which favors the 1-D method (the conclusion — a much longer
+    path — only strengthens under heavier overheads).
+    """
+    parent = sf.parent
+    n = parent.shape[0]
+    nmods = row_counts(sf.A, parent) - 1  # cmods into each column
+    cdiv, cmod = oned_column_flops(sf.cc)
+    fixed = machine.op_fixed_flops / 10
+
+    rate = machine.flop_rate
+    finish = np.zeros(n)
+    # parent[j] > j after postordering: single ascending sweep, pushing each
+    # column's finish time to its parent.
+    ready = np.zeros(n)
+    for j in range(n):
+        t = (
+            ready[j]
+            + (nmods[j] * (cmod[j] + fixed) + cdiv[j] + fixed) / rate
+        )
+        finish[j] = t
+        p = parent[j]
+        if p != -1 and t > ready[p]:
+            ready[p] = t
+
+    t_seq = float(
+        np.sum(nmods * (cmod + fixed) + cdiv + fixed) / rate
+    )
+    return OnedCriticalPath(
+        length_seconds=float(finish.max()) if n else 0.0,
+        t_sequential=t_seq,
+    )

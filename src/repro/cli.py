@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info <problem>``
+    Print matrix/ordering/symbolic statistics for a benchmark problem.
+``factor <problem>``
+    Numerically factor a benchmark problem and verify ``L L^T = A``.
+``simulate <problem>``
+    Simulate the parallel block fan-out under a chosen mapping.
+``experiment <name>``
+    Run one paper experiment (table1..table7, figure1, prime_grids, ...).
+``suite``
+    Run every experiment at the chosen scale (same as
+    ``scripts/run_all_experiments.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="medium",
+                   choices=("small", "medium", "paper"))
+    p.add_argument("--block-size", type=int, default=48)
+
+
+def cmd_info(args) -> int:
+    from repro.experiments.pipeline import prepare_problem
+
+    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    sf, part = prep.symbolic, prep.partition
+    wm = prep.workmodel
+    print(f"problem      : {prep.name} (scale={args.scale})")
+    print(f"equations    : {prep.problem.n:,}")
+    print(f"nnz(A)       : {prep.problem.nnz:,}")
+    print(f"ordering     : {prep.problem.recommended_ordering}")
+    print(f"nnz(L)       : {sf.factor_nnz:,}")
+    print(f"factor ops   : {sf.factor_ops / 1e6:,.1f} M")
+    print(f"supernodes   : {sf.nsupernodes:,}")
+    print(f"panels (B={args.block_size}): {part.npanels:,}")
+    print(f"blocks       : {prep.structure.num_blocks:,}")
+    print(f"block ops    : {wm.total_ops:,}")
+    return 0
+
+
+def cmd_factor(args) -> int:
+    from repro.experiments.pipeline import prepare_problem
+    from repro.numeric import BlockCholesky, solve_with_factor
+
+    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    bc = BlockCholesky(prep.structure, prep.symbolic.A).factor()
+    L = bc.to_csc()
+    resid = abs(L @ L.T - prep.symbolic.A).max()
+    print(f"factored {prep.name}: |L L^T - A|_max = {resid:.3e}")
+    b = np.ones(prep.problem.n)
+    x = solve_with_factor(L, b, prep.symbolic.ordering)
+    sres = np.max(np.abs(prep.problem.A @ x - b))
+    print(f"solve residual |Ax - b|_max = {sres:.3e}")
+    return 0 if resid < 1e-6 else 1
+
+
+def cmd_simulate(args) -> int:
+    from repro.experiments.pipeline import prepare_problem
+    from repro.fanout import assign_domains, run_fanout
+    from repro.mapping import best_grid, cyclic_map, heuristic_map, square_grid
+
+    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    try:
+        grid = square_grid(args.P)
+    except ValueError:
+        grid = best_grid(args.P)
+    wm = prep.workmodel
+    domains = assign_domains(wm, grid.P) if not args.no_domains else None
+    if args.mapping == "cyclic":
+        cmap = cyclic_map(prep.partition.npanels, grid)
+    else:
+        rh, _, ch = args.mapping.partition("/")
+        cmap = heuristic_map(wm, grid, rh.upper(), (ch or "CY").upper())
+    res = run_fanout(
+        prep.taskgraph, cmap, domains=domains,
+        priority_mode=args.priority, factor_ops=prep.factor_ops,
+    )
+    print(f"{prep.name} on {grid} ({cmap.name}):")
+    print(f"  runtime    : {res.t_parallel * 1e3:.2f} ms (simulated)")
+    print(f"  efficiency : {res.efficiency:.3f}")
+    print(f"  Mflops     : {res.mflops:.1f}")
+    print(f"  messages   : {res.comm_messages:,} "
+          f"({res.comm_bytes / 1e6:.1f} MB)")
+    print(f"  idle       : {res.idle_fraction:.2f}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import (
+        critical_path,
+        memory_usage,
+        tree_statistics,
+        work_by_depth,
+    )
+    from repro.experiments.pipeline import prepare_problem
+    from repro.fanout import assign_domains, block_owners
+    from repro.mapping import best_grid, heuristic_map, square_grid
+
+    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    stats = tree_statistics(prep.symbolic, args.block_size)
+    print(f"structure of {prep.name}:")
+    for label, value in stats.as_rows():
+        print(f"  {label:<22s}: {value}")
+    w = work_by_depth(prep.symbolic, nbins=5)
+    print("  work by depth quintile :", " ".join(f"{x:.2f}" for x in w))
+    cp = critical_path(prep.taskgraph)
+    print(f"  critical path          : {cp.length_seconds * 1e3:.2f} ms "
+          f"(max speedup {cp.max_speedup:.1f}x)")
+    try:
+        grid = square_grid(args.P)
+    except ValueError:
+        grid = best_grid(args.P)
+    owners = block_owners(
+        prep.taskgraph,
+        heuristic_map(prep.workmodel, grid, "ID", "CY"),
+        assign_domains(prep.workmodel, grid.P),
+    )
+    mem = memory_usage(prep.taskgraph, owners, grid.P)
+    print(f"  per-node factor storage: max {mem.max_owned / 2**20:.2f} MiB "
+          f"(balance {mem.storage_balance:.2f})")
+    print(f"  worst-case node memory : {mem.worst_case_bytes / 2**20:.2f} MiB "
+          f"({'fits' if mem.fits() else 'EXCEEDS'} a 32 MiB Paragon node)")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": ("repro.experiments.table1", "run", "{:.1f}"),
+    "table2": ("repro.experiments.table2", "run", "{:.2f}"),
+    "table3": ("repro.experiments.table3", "run", "{:.2f}"),
+    "table4": ("repro.experiments.table4", "run", "{:.0f}"),
+    "table5": ("repro.experiments.table5", "run", "{:.0f}"),
+    "table6": ("repro.experiments.table6", "run", "{:.1f}"),
+    "table7": ("repro.experiments.table7", "run", "{:.0f}"),
+    "figure1": ("repro.experiments.figure1", "run", "{:.3f}"),
+    "prime_grids": ("repro.experiments.prime_grids", "run", "{:.0f}"),
+    "alt_heuristic": ("repro.experiments.alt_heuristic", "run", "{:.2f}"),
+    "variable_block": ("repro.experiments.variable_block", "run", "{:.2f}"),
+    "dense_study": ("repro.experiments.dense_study", "run", "{:.0f}"),
+    "critical_path": ("repro.experiments.discussion", "run_critical_path", "{:.3f}"),
+    "subcube": ("repro.experiments.discussion", "run_subcube", "{:.2f}"),
+    "priority": ("repro.experiments.discussion", "run_priority_scheduling", "{:.1f}"),
+}
+
+
+def cmd_experiment(args) -> int:
+    import importlib
+
+    spec = _EXPERIMENTS.get(args.name)
+    if spec is None:
+        print(f"unknown experiment {args.name!r}; known: "
+              f"{', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    module, fn, fmt = spec
+    run = getattr(importlib.import_module(module), fn)
+    print(run(args.scale).render(fmt))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    import subprocess
+
+    return subprocess.call(
+        [sys.executable, "scripts/run_all_experiments.py", args.scale]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rothberg-Schreiber SC'94 reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="problem statistics")
+    p.add_argument("problem")
+    _add_common(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("factor", help="numeric factorization + verification")
+    p.add_argument("problem")
+    _add_common(p)
+    p.set_defaults(fn=cmd_factor)
+
+    p = sub.add_parser("simulate", help="parallel fan-out simulation")
+    p.add_argument("problem")
+    p.add_argument("-P", type=int, default=64, help="processor count")
+    p.add_argument("--mapping", default="ID/CY",
+                   help='"cyclic" or "<row>/<col>" heuristic pair, e.g. ID/CY')
+    p.add_argument("--no-domains", action="store_true")
+    p.add_argument("--priority", action="store_true",
+                   help="priority scheduling instead of FIFO")
+    _add_common(p)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("analyze", help="structure/memory/critical-path report")
+    p.add_argument("problem")
+    p.add_argument("-P", type=int, default=64)
+    _add_common(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("experiment", help="run one paper experiment")
+    p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
+    _add_common(p)
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("suite", help="run every experiment")
+    _add_common(p)
+    p.set_defaults(fn=cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

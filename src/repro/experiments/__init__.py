@@ -1,0 +1,11 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., ...) -> ExperimentResult``; the
+benchmark suite under ``benchmarks/`` wraps these, and the modules are
+runnable directly (``python -m repro.experiments.table2``).
+"""
+
+from repro.experiments.pipeline import PreparedProblem, prepare_problem, clear_cache
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["PreparedProblem", "prepare_problem", "clear_cache", "ExperimentResult"]

@@ -1,0 +1,90 @@
+"""§4.2(b): relatively-prime processor grids.
+
+Running the cyclic mapping on a ``gcd(Pr, Pc) = 1`` grid (one fewer
+processor: 63 = 7x9, 99 = 9x11) scatters the block diagonal over all
+processors and removes the diagonal imbalance with no remapping at all.
+Paper finding: 17%/18% mean improvement on 63/99 processors versus the
+64/100-processor cyclic baseline — most, but not all, of the heuristics'
+20%/24%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.pipeline import prepare_problem
+from repro.experiments.runner import ExperimentResult, pct
+from repro.fanout import assign_domains, run_fanout
+from repro.machine.params import PARAGON
+from repro.mapping import best_grid, cyclic_map, heuristic_map, square_grid
+from repro.matrices.registry import problem_names
+
+HEADERS = (
+    "Matrix",
+    "P",
+    "Cyclic Mflops",
+    "P-1 prime Mflops",
+    "Prime improv %",
+    "Heuristic Mflops",
+    "Heur improv %",
+)
+
+
+def run(
+    scale: str = "medium",
+    Ps: tuple[int, ...] = (64, 100),
+    machine=PARAGON,
+) -> ExperimentResult:
+    rows = []
+    prime_means: dict[int, list[float]] = {P: [] for P in Ps}
+    heur_means: dict[int, list[float]] = {P: [] for P in Ps}
+    for name in problem_names("table1"):
+        prep = prepare_problem(name, scale)
+        for P in Ps:
+            sq = square_grid(P)
+            pg = best_grid(P - 1)
+            domains_sq = assign_domains(prep.workmodel, P)
+            domains_pg = assign_domains(prep.workmodel, P - 1)
+            base = run_fanout(
+                prep.taskgraph,
+                cyclic_map(prep.partition.npanels, sq),
+                machine=machine, domains=domains_sq, factor_ops=prep.factor_ops,
+            ).mflops
+            prime = run_fanout(
+                prep.taskgraph,
+                cyclic_map(prep.partition.npanels, pg),
+                machine=machine, domains=domains_pg, factor_ops=prep.factor_ops,
+            ).mflops
+            heur = run_fanout(
+                prep.taskgraph,
+                heuristic_map(prep.workmodel, sq, "ID", "CY"),
+                machine=machine, domains=domains_sq, factor_ops=prep.factor_ops,
+            ).mflops
+            prime_means[P].append(pct(prime, base))
+            heur_means[P].append(pct(heur, base))
+            rows.append(
+                (name, P, base, prime, prime_means[P][-1], heur, heur_means[P][-1])
+            )
+    data = {
+        "mean_prime_improvement": {
+            P: float(np.mean(v)) for P, v in prime_means.items()
+        },
+        "mean_heuristic_improvement": {
+            P: float(np.mean(v)) for P, v in heur_means.items()
+        },
+    }
+    return ExperimentResult(
+        experiment=f"Sec. 4.2(b): relatively-prime grids (scale={scale})",
+        headers=HEADERS,
+        rows=rows,
+        data=data,
+        notes=(
+            "Paper: prime grids gain 17-18% mean; heuristics gain 20-24%."
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    print(run(*(sys.argv[1:] or ["medium"])).render("{:.0f}"))

@@ -1,0 +1,18 @@
+"""Table 6: statistics of the larger benchmark problems."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.table1 import run as _run_table1
+
+
+def run(scale: str = "medium") -> ExperimentResult:
+    res = _run_table1(scale=scale, suite="table6")
+    res.experiment = f"Table 6: large benchmark matrices (scale={scale})"
+    return res
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    print(run(*(sys.argv[1:] or ["medium"])).render("{:.1f}"))

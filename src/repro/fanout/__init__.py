@@ -1,0 +1,26 @@
+"""The parallel block fan-out method (§2.3) on the simulated machine.
+
+``TaskGraph`` turns a block structure into the BFAC/BDIV/BMOD task DAG with
+fan-out dependency counters; ``simulate_fanout`` runs the data-driven
+algorithm — block completions trigger messages, message arrivals enable
+tasks — on the discrete-event machine and reports runtime, efficiency,
+Mflops, and communication statistics. ``assign_domains`` implements the
+domain (subtree-to-processor) portion of the method.
+"""
+
+from repro.fanout.tasks import TaskGraph
+from repro.fanout.domains import DomainAssignment, assign_domains
+from repro.fanout.ownership import block_owners
+from repro.fanout.priorities import task_priorities
+from repro.fanout.simulator import FanoutResult, simulate_fanout, run_fanout
+
+__all__ = [
+    "TaskGraph",
+    "DomainAssignment",
+    "assign_domains",
+    "block_owners",
+    "task_priorities",
+    "FanoutResult",
+    "simulate_fanout",
+    "run_fanout",
+]

@@ -1,0 +1,119 @@
+"""Task priority policies for the simulator's dynamic-scheduling mode.
+
+§5 leaves open whether scheduling "more sensitive to some measures of
+priority of tasks than the purely data-driven approach" would close the gap
+between achieved efficiency and the critical-path bound. The simulator's
+priority mode takes a per-task priority array (lower value = run first);
+this module provides the candidate policies:
+
+``column``
+    earliest destination block column first (eliminate early columns
+    eagerly — the simulator's built-in default priority);
+``depth``
+    deepest destination first (drain the elimination-tree leaves, keeping
+    domains busy);
+``bottom_level``
+    classic HLF/critical-path scheduling: tasks with the longest remaining
+    dependence chain first. Computed by a reverse sweep over the task DAG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fanout.tasks import BDIV, BFAC, BMOD, TaskGraph
+from repro.machine.params import PARAGON, MachineParams
+
+POLICIES = ("fifo", "column", "depth", "bottom_level")
+
+
+def column_priorities(tg: TaskGraph) -> np.ndarray:
+    """Earliest destination column first (ties: earliest row)."""
+    dest = tg.task_block
+    return (tg.block_J[dest] * tg.npanels + tg.block_I[dest]).astype(
+        np.float64
+    )
+
+
+def depth_priorities(tg: TaskGraph, depth: np.ndarray) -> np.ndarray:
+    """Deepest destination panel first. ``depth`` is per-panel."""
+    dest_panel = tg.block_J[tg.task_block]
+    return -depth[dest_panel].astype(np.float64)
+
+
+def bottom_level_priorities(
+    tg: TaskGraph, machine: MachineParams = PARAGON
+) -> np.ndarray:
+    """Negative bottom level (longest remaining chain first).
+
+    The bottom level of a task is its own duration plus the longest bottom
+    level among its successors. Successor structure of the fan-out DAG:
+
+    * ``BMOD`` into block b  ->  the BFAC/BDIV task of block b;
+    * ``BDIV`` of block b    ->  every BMOD consuming b (``dep_tasks``);
+    * ``BFAC`` of panel K    ->  the BDIV tasks of panel K's blocks.
+
+    Every successor lives in the same or a later panel, and within a panel
+    the stage order is BDIVs' consumers (later panels) -> BDIV -> BFAC, so
+    one reverse sweep over panels computes exact levels.
+    """
+    dur = (tg.task_flops + machine.op_fixed_flops) / machine.flop_rate
+    level = np.zeros(tg.ntasks)
+    N = tg.npanels
+
+    # Group BMOD tasks by source panel (panel of src1).
+    mod_ids = np.flatnonzero(tg.task_kind == BMOD)
+    mod_src_panel = tg.block_J[tg.task_src1[mod_ids]]
+    order = np.argsort(mod_src_panel, kind="stable")
+    mod_ids = mod_ids[order]
+    mod_src_panel = mod_src_panel[order]
+    panel_start = np.searchsorted(mod_src_panel, np.arange(N + 1))
+
+    # Per-block: its factor task (BFAC for diagonal, BDIV for subdiagonal).
+    factor_task = np.where(tg.bfac_task >= 0, tg.bfac_task, tg.bdiv_task)
+    # Per-panel BFAC task id.
+    fac_ids = np.flatnonzero(tg.task_kind == BFAC)
+    bfac_of_panel = np.full(N, -1, dtype=np.int64)
+    bfac_of_panel[tg.block_J[tg.task_block[fac_ids]]] = fac_ids
+
+    for k in range(N - 1, -1, -1):
+        # 1. BMODs sourced from panel k: successor = dest block's factor task
+        #    (in panel > k, already leveled).
+        mods = mod_ids[panel_start[k] : panel_start[k + 1]]
+        if mods.size:
+            succ = factor_task[tg.task_block[mods]]
+            level[mods] = dur[mods] + level[succ]
+        # 2. BDIVs of panel k: successors = BMODs consuming the block.
+        sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
+        best_bdiv = 0.0
+        for b in sub:
+            deps = tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]
+            t = int(tg.bdiv_task[b])
+            succ_level = level[deps].max() if deps.size else 0.0
+            level[t] = dur[t] + succ_level
+            if level[t] > best_bdiv:
+                best_bdiv = float(level[t])
+        # 3. BFAC of panel k: successors = the panel's BDIVs.
+        t = int(bfac_of_panel[k])
+        level[t] = dur[t] + best_bdiv
+    return -level
+
+
+def task_priorities(
+    tg: TaskGraph,
+    policy: str,
+    depth: np.ndarray | None = None,
+    machine: MachineParams = PARAGON,
+) -> np.ndarray | None:
+    """Priority array for ``policy`` (None for pure FIFO)."""
+    if policy == "fifo":
+        return None
+    if policy == "column":
+        return column_priorities(tg)
+    if policy == "depth":
+        if depth is None:
+            raise ValueError("depth policy requires per-panel depths")
+        return depth_priorities(tg, depth)
+    if policy == "bottom_level":
+        return bottom_level_priorities(tg, machine)
+    raise KeyError(f"unknown policy {policy!r}; expected one of {POLICIES}")

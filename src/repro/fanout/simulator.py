@@ -1,0 +1,305 @@
+"""Discrete-event simulation of the data-driven block fan-out method.
+
+The simulation mirrors §2.3 exactly:
+
+* every block operation executes at the owner of its destination block;
+* a processor works through ready operations serially (FIFO arrival order —
+  "data-driven" — or smallest-destination-first with ``priority_mode``);
+* when a diagonal block finishes BFAC it is sent to every processor owning a
+  subdiagonal block of that panel (they need it for BDIV);
+* when a subdiagonal block L_IK completes its BDIV it is sent to every
+  processor owning a destination of one of its BMODs — under a CP mapping
+  that is one processor row plus one processor column;
+* a BMOD becomes ready when both its source blocks have arrived; BDIV/BFAC
+  become ready when the destination has absorbed all its BMODs (and, for
+  BDIV, the diagonal block has arrived).
+
+Messages cost ``latency + bytes/bandwidth`` on the wire plus
+``send_overhead`` of sender CPU each; tasks cost
+``(flops + 1000)/flop_rate``, the work model's own measure, so simulated
+efficiency is bounded by the overall-balance statistic exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fanout.domains import DomainAssignment
+from repro.fanout.ownership import block_owners
+from repro.fanout.tasks import BDIV, BFAC, BMOD, TaskGraph
+from repro.machine.event_sim import DiscreteEventSimulator
+from repro.machine.params import PARAGON, MachineParams
+from repro.machine.processor import SimProcessor
+from repro.mapping.base import BlockMap
+
+
+@dataclass
+class FanoutResult:
+    """Outcome of one simulated parallel factorization."""
+
+    P: int
+    t_parallel: float
+    t_sequential: float
+    busy_times: np.ndarray
+    comm_bytes: int
+    comm_messages: int
+    ntasks: int
+    events: int
+    factor_ops: int | None = None
+    schedule: list | None = None
+    trace: list | None = None  # (rank, start, end, kind, block) per task
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def efficiency(self) -> float:
+        """``t_seq / (P * t_par)`` — the paper's efficiency measure (§3.2)."""
+        return self.t_sequential / (self.P * self.t_parallel)
+
+    @property
+    def mflops(self) -> float:
+        """Parallel Mflops: best-sequential op count over parallel runtime."""
+        if self.factor_ops is None:
+            raise ValueError("factor_ops not supplied")
+        return self.factor_ops / self.t_parallel / 1e6
+
+    @property
+    def idle_fraction(self) -> float:
+        return 1.0 - float(self.busy_times.sum()) / (self.P * self.t_parallel)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FanoutResult(P={self.P}, t_par={self.t_parallel:.4f}s, "
+            f"eff={self.efficiency:.3f})"
+        )
+
+
+def simulate_fanout(
+    tg: TaskGraph,
+    owners: np.ndarray,
+    P: int,
+    machine: MachineParams = PARAGON,
+    priority_mode: bool = False,
+    record_schedule: bool = False,
+    record_trace: bool = False,
+    factor_ops: int | None = None,
+    topology=None,
+    priorities: np.ndarray | None = None,
+) -> FanoutResult:
+    """Run the block fan-out factorization on the simulated machine.
+
+    ``owners[b]`` is the processor rank of block b (see
+    :func:`repro.fanout.ownership.block_owners`). ``topology`` is an
+    optional :class:`~repro.machine.network.MeshTopology`; combined with a
+    nonzero ``machine.hop_latency`` it charges per-hop distance.
+    ``priorities`` (one value per task, lower runs first) switches ready
+    queues from FIFO to priority order — see
+    :mod:`repro.fanout.priorities` for the candidate policies.
+    """
+    if priorities is not None:
+        priority_mode = True
+    owners = np.asarray(owners)
+    if owners.shape[0] != tg.nblocks:
+        raise ValueError("owners must have one entry per block")
+    if owners.size and (owners.min() < 0 or owners.max() >= P):
+        raise ValueError("block owner out of range")
+
+    sim = DiscreteEventSimulator()
+    procs = [SimProcessor(r, priority_mode) for r in range(P)]
+
+    task_owner = owners[tg.task_block]
+    task_flops = tg.task_flops
+    task_kind = tg.task_kind
+    task_block = tg.task_block
+    mods_remaining = tg.nmod.copy()
+    missing = tg.task_missing_init.copy()
+    diag_ready = np.zeros(tg.nblocks, dtype=bool)
+    completed = np.zeros(tg.nblocks, dtype=bool)
+    # Default priority: earlier block columns first, then earlier rows.
+    if priorities is not None:
+        if priorities.shape[0] != tg.ntasks:
+            raise ValueError("priorities must have one entry per task")
+        prio = np.asarray(priorities, dtype=np.float64)
+    else:
+        prio = (
+            tg.block_J[task_block] * tg.npanels + tg.block_I[task_block]
+        ).astype(np.float64)
+
+    stats = {"bytes": 0, "messages": 0}
+    schedule: list | None = [] if record_schedule else None
+    trace: list | None = [] if record_trace else None
+    # Receive-side NIC availability per processor (contention model).
+    rx_free = np.zeros(P) if machine.has_rx_contention else None
+
+    def enqueue(tid: int) -> None:
+        p = procs[task_owner[tid]]
+        p.push(tid, prio[tid])
+        if not p.running:
+            start_next(p)
+
+    def start_next(p: SimProcessor) -> None:
+        if not p.has_work():
+            p.running = False
+            return
+        tid = p.pop()
+        p.running = True
+        dur = machine.task_time(float(task_flops[tid]))
+        sim.schedule_after(dur, lambda: complete(p, int(tid), dur))
+
+    def block_mods_done(b: int) -> None:
+        if tg.block_I[b] == tg.block_J[b]:
+            enqueue(int(tg.bfac_task[b]))
+        elif diag_ready[b]:
+            enqueue(int(tg.bdiv_task[b]))
+
+    def diag_arrived(b: int) -> None:
+        diag_ready[b] = True
+        if mods_remaining[b] == 0:
+            enqueue(int(tg.bdiv_task[b]))
+
+    def source_arrived(tid: int) -> None:
+        missing[tid] -= 1
+        if missing[tid] == 0:
+            enqueue(tid)
+
+    def complete(p: SimProcessor, tid: int, dur: float) -> None:
+        kind = task_kind[tid]
+        b = int(task_block[tid])
+        if schedule is not None:
+            schedule.append(tid)
+        if trace is not None:
+            trace.append((p.rank, sim.now - dur, sim.now, int(kind), b))
+        p.tasks_done += 1
+
+        send_cost = 0.0
+        if kind == BMOD:
+            mods_remaining[b] -= 1
+            if mods_remaining[b] == 0:
+                block_mods_done(b)
+        elif kind == BFAC:
+            completed[b] = True
+            k = int(tg.block_J[b])
+            sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
+            send_cost = _deliver(
+                p, b, sub, owners[sub], diag_arrived
+            )
+        else:  # BDIV
+            completed[b] = True
+            deps = tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]
+            send_cost = _deliver(
+                p, b, deps, task_owner[deps], source_arrived
+            )
+
+        p.busy_time += dur + send_cost
+        if send_cost > 0:
+            sim.schedule_after(send_cost, lambda: start_next(p))
+        else:
+            start_next(p)
+
+    def _deliver(p, src_block, targets, target_owners, callback):
+        """Send block ``src_block`` where needed; fire ``callback(target)``
+        at each target's arrival time. Returns the sender CPU cost."""
+        if len(targets) == 0:
+            return 0.0
+        remote = np.unique(target_owners[target_owners != p.rank])
+        nmsg = remote.shape[0]
+        send_cost = nmsg * machine.send_overhead
+        words = float(tg.block_words[src_block])
+        if nmsg:
+            nbytes = machine.message_bytes(words)
+            stats["bytes"] += nbytes * nmsg
+            stats["messages"] += nmsg
+            p.bytes_sent += nbytes * nmsg
+            p.messages_sent += nmsg
+        wire_arrival = sim.now + send_cost + machine.transfer_time(words)
+        if topology is not None and machine.hop_latency > 0.0:
+            hop = {
+                int(o): machine.hop_latency * topology.hops(p.rank, int(o))
+                for o in remote
+            }
+        else:
+            hop = None
+        if rx_free is None:
+            arrival = {
+                int(o): wire_arrival + (hop[int(o)] if hop else 0.0)
+                for o in remote
+            }
+        else:
+            # Serialize deliveries through each receiver's NIC; messages from
+            # this send depart together, so each receiver pays one rx slot.
+            arrival = {}
+            rx = machine.rx_time(words)
+            for o in remote:
+                o = int(o)
+                wa = wire_arrival + (hop[o] if hop else 0.0)
+                delivered = max(float(rx_free[o]), wa) + rx
+                rx_free[o] = delivered
+                arrival[o] = delivered
+        for t, o in zip(targets, target_owners):
+            t = int(t)
+            if o == p.rank:
+                callback(t)
+            else:
+                sim.schedule_at(
+                    arrival[int(o)], (lambda tt: lambda: callback(tt))(t)
+                )
+        return send_cost
+
+    # Seed: diagonal blocks with no incoming BMODs can factor immediately.
+    diag = tg.block_I == tg.block_J
+    for b in np.flatnonzero(diag & (tg.nmod == 0)):
+        enqueue(int(tg.bfac_task[int(b)]))
+
+    sim.run()
+
+    if not completed[diag].all():
+        raise RuntimeError(
+            "fan-out simulation deadlocked: "
+            f"{int((~completed[diag]).sum())} diagonal blocks incomplete"
+        )
+
+    t_seq = float(
+        np.sum(task_flops + machine.op_fixed_flops) / machine.flop_rate
+    )
+    busy = np.array([q.busy_time for q in procs])
+    return FanoutResult(
+        P=P,
+        t_parallel=sim.now,
+        t_sequential=t_seq,
+        busy_times=busy,
+        comm_bytes=int(stats["bytes"]),
+        comm_messages=int(stats["messages"]),
+        ntasks=tg.ntasks,
+        events=sim.events_processed,
+        factor_ops=factor_ops,
+        schedule=schedule,
+        trace=trace,
+    )
+
+
+def run_fanout(
+    tg: TaskGraph,
+    cmap: BlockMap,
+    machine: MachineParams = PARAGON,
+    domains: DomainAssignment | None = None,
+    priority_mode: bool = False,
+    factor_ops: int | None = None,
+    topology=None,
+) -> FanoutResult:
+    """Convenience wrapper: derive block ownership from a mapping (plus an
+    optional domain assignment) and simulate."""
+    owners = block_owners(tg, cmap, domains)
+    result = simulate_fanout(
+        tg,
+        owners,
+        cmap.grid.P,
+        machine=machine,
+        priority_mode=priority_mode,
+        factor_ops=factor_ops,
+        topology=topology,
+    )
+    result.meta["mapping"] = cmap.name
+    result.meta["domains"] = domains is not None
+    return result

@@ -1,0 +1,77 @@
+"""Compressed adjacency structure for matrix graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.util.arrays import INDEX_DTYPE
+
+
+class AdjacencyGraph:
+    """Undirected graph of a symmetric sparse pattern, CSR-compressed.
+
+    The diagonal is removed; the structure is symmetrized defensively so
+    that callers may pass either triangle or the full pattern.
+    """
+
+    __slots__ = ("indptr", "indices", "n")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        self.n = self.indptr.shape[0] - 1
+
+    @classmethod
+    def from_sparse(cls, A: sparse.spmatrix) -> "AdjacencyGraph":
+        A = A.tocsr()
+        if A.shape[0] != A.shape[1]:
+            raise ValueError("adjacency requires a square matrix")
+        pattern = A + A.T  # symmetrize structure
+        pattern = pattern.tocsr()
+        pattern.setdiag(0)
+        pattern.eliminate_zeros()
+        pattern.sort_indices()
+        return cls(pattern.indptr, pattern.indices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour indices of vertex ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.shape[0] // 2)
+
+    def subgraph(self, vertices: np.ndarray) -> tuple["AdjacencyGraph", np.ndarray]:
+        """Induced subgraph; returns (graph, original-vertex-ids).
+
+        ``vertices`` need not be sorted; local vertex ``i`` corresponds to
+        ``vertices[i]`` in the parent graph.
+        """
+        vertices = np.asarray(vertices, dtype=INDEX_DTYPE)
+        local = np.full(self.n, -1, dtype=INDEX_DTYPE)
+        local[vertices] = np.arange(vertices.shape[0], dtype=INDEX_DTYPE)
+
+        counts = np.zeros(vertices.shape[0] + 1, dtype=INDEX_DTYPE)
+        chunks = []
+        for i, v in enumerate(vertices):
+            nbrs = local[self.neighbors(v)]
+            nbrs = nbrs[nbrs >= 0]
+            counts[i + 1] = nbrs.shape[0]
+            chunks.append(nbrs)
+        indptr = np.cumsum(counts)
+        indices = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=INDEX_DTYPE)
+        )
+        return AdjacencyGraph(indptr, indices), vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdjacencyGraph(n={self.n}, edges={self.num_edges})"

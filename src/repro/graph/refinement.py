@@ -1,0 +1,117 @@
+"""Vertex-separator refinement (Fiduccia-Mattheyses style).
+
+Level-set separators are quick but crude; this pass shrinks and re-balances
+a separator by moving vertices between the separator and the two parts,
+one best-gain move at a time with a small hill-climbing allowance. Used by
+nested dissection when ``refine=True``; better separators mean smaller
+separator supernodes and less fill.
+
+The move model is the standard one for *vertex* separators: only separator
+vertices move (into the smaller part); moving ``v`` into part A forces v's
+neighbours in B into the separator. The gain of the move is
+``1 - |N(v) ∩ B \\ S|``; the pass greedily applies best-gain moves with
+tie-breaking toward balance, keeps the best state seen, and stops after a
+bounded number of non-improving moves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import AdjacencyGraph
+
+#: Which side a vertex is on during refinement.
+PART_A, PART_B, SEP = 0, 1, 2
+
+
+def refine_separator(
+    graph: AdjacencyGraph,
+    part_a: np.ndarray,
+    separator: np.ndarray,
+    part_b: np.ndarray,
+    max_passes: int = 2,
+    patience: int = 32,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Improve (part_a, separator, part_b); returns the refined triple.
+
+    The result is guaranteed to still be a valid vertex separator and to
+    have a separator no larger than the input's.
+    """
+    side = np.full(graph.n, -1, dtype=np.int8)
+    side[part_a] = PART_A
+    side[part_b] = PART_B
+    side[separator] = SEP
+    active = side >= 0
+
+    def sep_size(s):
+        return int((s == SEP).sum())
+
+    best = side.copy()
+    best_score = _score(side)
+
+    for _ in range(max_passes):
+        improved = False
+        stall = 0
+        moved = np.zeros(graph.n, dtype=bool)
+        while stall < patience:
+            sep_vertices = np.flatnonzero((side == SEP) & ~moved)
+            if sep_vertices.size == 0:
+                break
+            sizes = np.bincount(side[active], minlength=3)
+            target = PART_A if sizes[PART_A] <= sizes[PART_B] else PART_B
+            other = PART_B if target == PART_A else PART_A
+            # Gain of moving v from SEP into `target`: the separator loses
+            # v but gains v's `other`-side neighbours.
+            best_v, best_gain = -1, None
+            for v in sep_vertices:
+                nbrs = graph.neighbors(int(v))
+                pulled = int((side[nbrs] == other).sum())
+                gain = 1 - pulled
+                if best_gain is None or gain > best_gain:
+                    best_v, best_gain = int(v), gain
+            if best_v < 0:
+                break
+            nbrs = graph.neighbors(best_v)
+            side[best_v] = target
+            moved[best_v] = True
+            pulled = nbrs[side[nbrs] == other]
+            side[pulled] = SEP
+            score = _score(side)
+            if score > best_score:
+                best_score = score
+                best = side.copy()
+                improved = True
+                stall = 0
+            else:
+                stall += 1
+        side = best.copy()
+        if not improved:
+            break
+
+    new_a = np.flatnonzero(best == PART_A)
+    new_s = np.flatnonzero(best == SEP)
+    new_b = np.flatnonzero(best == PART_B)
+    return new_a, new_s, new_b
+
+
+def _score(side: np.ndarray) -> float:
+    """Higher is better: small separator first, then balance."""
+    sizes = np.bincount(side[side >= 0], minlength=3)
+    na, nb, ns = int(sizes[PART_A]), int(sizes[PART_B]), int(sizes[SEP])
+    total = max(1, na + nb)
+    balance = 1.0 - abs(na - nb) / total
+    return -ns + 0.25 * balance
+
+
+def separator_is_valid(
+    graph: AdjacencyGraph,
+    part_a: np.ndarray,
+    part_b: np.ndarray,
+) -> bool:
+    """True when no edge joins part_a and part_b."""
+    in_a = np.zeros(graph.n, dtype=bool)
+    in_a[part_a] = True
+    for v in part_b:
+        if in_a[graph.neighbors(int(v))].any():
+            return False
+    return True

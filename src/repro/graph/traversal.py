@@ -1,0 +1,86 @@
+"""Breadth-first traversals: level structures, components, pseudo-peripheral nodes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.util.arrays import INDEX_DTYPE
+
+
+def bfs_levels(
+    graph: AdjacencyGraph, root: int, mask: np.ndarray | None = None
+) -> np.ndarray:
+    """Level (distance) of every vertex from ``root``; unreachable = -1.
+
+    ``mask`` restricts traversal to vertices where ``mask`` is True.
+    Implemented frontier-at-a-time with numpy set operations, not a Python
+    queue, per the vectorization guide.
+    """
+    levels = np.full(graph.n, -1, dtype=INDEX_DTYPE)
+    if mask is not None and not mask[root]:
+        raise ValueError("root excluded by mask")
+    levels[root] = 0
+    frontier = np.array([root], dtype=INDEX_DTYPE)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        starts, stops = graph.indptr[frontier], graph.indptr[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        nxt = np.empty(total, dtype=INDEX_DTYPE)
+        pos = 0
+        for s, t in zip(starts, stops):
+            cnt = int(t - s)
+            nxt[pos : pos + cnt] = graph.indices[s:t]
+            pos += cnt
+        nxt = np.unique(nxt)
+        nxt = nxt[levels[nxt] == -1]
+        if mask is not None:
+            nxt = nxt[mask[nxt]]
+        levels[nxt] = depth
+        frontier = nxt
+    return levels
+
+
+def connected_components(
+    graph: AdjacencyGraph, mask: np.ndarray | None = None
+) -> list[np.ndarray]:
+    """Vertex sets of the connected components (restricted to ``mask``)."""
+    if mask is None:
+        mask = np.ones(graph.n, dtype=bool)
+    remaining = mask.copy()
+    comps: list[np.ndarray] = []
+    while True:
+        seeds = np.flatnonzero(remaining)
+        if seeds.size == 0:
+            break
+        levels = bfs_levels(graph, int(seeds[0]), mask=remaining)
+        comp = np.flatnonzero(levels >= 0)
+        comps.append(comp)
+        remaining[comp] = False
+    return comps
+
+
+def pseudo_peripheral_node(
+    graph: AdjacencyGraph, start: int, mask: np.ndarray | None = None
+) -> tuple[int, np.ndarray]:
+    """George-Liu pseudo-peripheral node search.
+
+    Repeatedly roots a BFS at a minimum-degree vertex of the deepest level
+    until eccentricity stops growing. Returns (node, its level array).
+    """
+    node = start
+    levels = bfs_levels(graph, node, mask=mask)
+    ecc = int(levels.max())
+    while True:
+        last = np.flatnonzero(levels == ecc)
+        if last.size == 0:
+            return node, levels
+        cand = last[np.argmin(graph.degrees[last])]
+        new_levels = bfs_levels(graph, int(cand), mask=mask)
+        new_ecc = int(new_levels.max())
+        if new_ecc <= ecc:
+            return node, levels
+        node, levels, ecc = int(cand), new_levels, new_ecc

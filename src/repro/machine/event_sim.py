@@ -1,0 +1,46 @@
+"""A small deterministic discrete-event engine.
+
+Events fire in (time, insertion-sequence) order, so simultaneous events run
+in the order they were scheduled — runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class DiscreteEventSimulator:
+    """Minimal event loop: ``schedule_at`` callbacks, ``run`` to exhaustion."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._seq, action))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> None:
+        self.schedule_at(self.now + delay, action)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue drains (or past ``until``); returns
+        the final simulation time."""
+        while self._heap:
+            time, _, action = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            action()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

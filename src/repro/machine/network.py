@@ -1,0 +1,50 @@
+"""Physical network topology models.
+
+The Paragon is a 2-D mesh with wormhole routing, which makes message time
+nearly distance-insensitive — the reason the paper can treat the machine as
+a flat set of processors ("these advantages accrue even when the underlying
+machine has some interconnection network whose topology is not a grid",
+§1). ``MeshTopology`` lets that assumption be stress-tested: a nonzero
+per-hop latency charges Manhattan distance between the communicating nodes'
+physical mesh positions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """P processors arranged (row-major) in a physical 2-D mesh."""
+
+    rows: int
+    cols: int
+
+    @classmethod
+    def for_processors(cls, P: int) -> "MeshTopology":
+        """Most-square physical mesh holding P nodes."""
+        r = math.isqrt(P)
+        while P % r:
+            r -= 1
+        return cls(r, P // r)
+
+    @property
+    def P(self) -> int:
+        return self.rows * self.cols
+
+    def position(self, rank: int) -> tuple[int, int]:
+        if not 0 <= rank < self.P:
+            raise ValueError(f"rank {rank} outside mesh of {self.P}")
+        return divmod(rank, self.cols)
+
+    def hops(self, a: int, b: int) -> int:
+        """Manhattan distance between two ranks' mesh positions."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    @property
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)

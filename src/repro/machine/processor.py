@@ -1,0 +1,58 @@
+"""Processor model: serial task execution with a ready queue.
+
+The block fan-out method is data-driven: a processor works through block
+operations in the order their inputs arrive (§2.3). ``SimProcessor``
+implements that as a FIFO ready queue; an optional priority mode (smaller
+destination block column first) models the dynamic-scheduling refinement the
+paper proposes as future work (§5).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any
+
+
+class SimProcessor:
+    """One node: executes ready tasks serially, tracks busy time and traffic."""
+
+    __slots__ = (
+        "rank",
+        "queue",
+        "_pqueue",
+        "_pseq",
+        "priority_mode",
+        "running",
+        "busy_time",
+        "tasks_done",
+        "bytes_sent",
+        "messages_sent",
+    )
+
+    def __init__(self, rank: int, priority_mode: bool = False):
+        self.rank = rank
+        self.queue: deque = deque()
+        self._pqueue: list = []
+        self._pseq = 0
+        self.priority_mode = priority_mode
+        self.running = False
+        self.busy_time = 0.0
+        self.tasks_done = 0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def push(self, task: Any, priority: float = 0.0) -> None:
+        if self.priority_mode:
+            heapq.heappush(self._pqueue, (priority, self._pseq, task))
+            self._pseq += 1
+        else:
+            self.queue.append(task)
+
+    def pop(self) -> Any:
+        if self.priority_mode:
+            return heapq.heappop(self._pqueue)[2]
+        return self.queue.popleft()
+
+    def has_work(self) -> bool:
+        return bool(self._pqueue) if self.priority_mode else bool(self.queue)

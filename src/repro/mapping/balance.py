@@ -1,0 +1,85 @@
+"""Load-balance metrics (§3.2): overall, row, column, diagonal balance.
+
+Each metric is an upper bound on achievable parallel efficiency; ``overall``
+is the tightest (``efficiency <= overall <= row, column, diagonal``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blocks.workmodel import WorkModel
+from repro.mapping.base import CartesianMap
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """The four balance statistics of §3.2. ``diagonal`` is None on
+    non-square grids (generalized diagonals are defined for ``Pr == Pc``)."""
+
+    overall: float
+    row: float
+    column: float
+    diagonal: float | None
+
+    def as_row(self) -> tuple:
+        d = self.diagonal if self.diagonal is not None else float("nan")
+        return (self.row, self.column, d, self.overall)
+
+
+def overall_balance_from_owners(wm: WorkModel, owners, P: int) -> float:
+    """Overall balance for an arbitrary block ownership (e.g. with domains).
+
+    This is the exact upper bound on the simulator's efficiency, since the
+    simulator charges each processor ``work_p / flop_rate`` of compute time.
+    """
+    import numpy as _np
+
+    owners = _np.asarray(owners)
+    proc_work = _np.bincount(owners, weights=wm.work, minlength=P)
+    total = wm.total_work
+    if total <= 0:
+        return 1.0
+    return float(total / (P * proc_work.max()))
+
+
+def balance_metrics(wm: WorkModel, cmap: CartesianMap) -> BalanceReport:
+    """Compute the balance report of work model ``wm`` under mapping ``cmap``.
+
+    overall  = work_total / (P * max_p work_p)
+    row      = work_total / (P * max_r (sum_{mapI[I]=r} workI[I]) / Pc)
+    column   = work_total / (P * max_c (sum_{mapJ[J]=c} workJ[J]) / Pr)
+    diagonal = work_total / (P * max_d (sum_{(I,J) in D_d} work) / Pr),
+               D_d = {(I, J) : (mapI[I] - mapJ[J]) mod Pr == d}.
+    """
+    grid = cmap.grid
+    P = grid.P
+    total = wm.total_work
+    if total <= 0:
+        return BalanceReport(1.0, 1.0, 1.0, 1.0 if grid.is_square else None)
+
+    ranks = cmap.owner_array(wm.dest_I, wm.dest_J)
+    proc_work = np.bincount(ranks, weights=wm.work, minlength=P)
+    overall = total / (P * proc_work.max())
+
+    row_work = np.bincount(cmap.mapI[wm.dest_I], weights=wm.work, minlength=grid.Pr)
+    row_bal = total / (P * row_work.max() / grid.Pc)
+
+    col_work = np.bincount(cmap.mapJ[wm.dest_J], weights=wm.work, minlength=grid.Pc)
+    col_bal = total / (P * col_work.max() / grid.Pr)
+
+    if grid.is_square:
+        d = (cmap.mapI[wm.dest_I] - cmap.mapJ[wm.dest_J]) % grid.Pr
+        diag_work = np.bincount(d, weights=wm.work, minlength=grid.Pr)
+        diag_bal = total / (P * diag_work.max() / grid.Pr)
+    else:
+        diag_bal = None
+
+    return BalanceReport(
+        overall=float(overall),
+        row=float(row_bal),
+        column=float(col_bal),
+        diagonal=None if diag_bal is None else float(diag_bal),
+    )

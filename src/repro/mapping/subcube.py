@@ -1,0 +1,100 @@
+"""Subtree-to-subcube column mapping (§5, discussion).
+
+The paper explored reducing communication by dividing *processor columns* of
+the grid among elimination-tree subtrees (the block analogue of the
+subtree-to-subcube scheme of George et al.): panels in a subtree are mapped
+only to that subtree's processor-column subset, so column broadcasts span
+fewer processors. They measured up to 30% lower communication volume but
+worse load balance — with the Paragon's fast network the net effect was a
+slowdown, which our simulator reproduces as an ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocks.workmodel import WorkModel
+from repro.mapping.base import CartesianMap
+from repro.mapping.grid import ProcessorGrid
+from repro.mapping.heuristics import heuristic_vector
+from repro.symbolic.supernodes import supernode_parents
+from repro.util.arrays import INDEX_DTYPE
+
+
+def subtree_to_subcube_column_map(
+    wm: WorkModel,
+    grid: ProcessorGrid,
+    row_heuristic: str = "ID",
+) -> CartesianMap:
+    """Columns by recursive subtree splitting, rows by a balance heuristic."""
+    part = wm.structure.partition
+    sf = part.symbolic
+    N = part.npanels
+
+    # Supernode tree and per-supernode column work (aggregated over panels).
+    sparent = supernode_parents(sf.snode_ptr, sf.parent)
+    nsup = sf.nsupernodes
+    snode_work = np.zeros(nsup, dtype=np.float64)
+    panel_snode = part.panel_snode
+    np.add.at(snode_work, panel_snode, wm.workJ)
+    # Subtree work: postordered snode indices => single ascending sweep.
+    subtree = snode_work.copy()
+    for s in range(nsup):
+        p = sparent[s]
+        if p != -1:
+            subtree[int(p)] += subtree[s]
+
+    children: list[list[int]] = [[] for _ in range(nsup)]
+    roots: list[int] = []
+    for s in range(nsup):
+        p = int(sparent[s])
+        if p == -1:
+            roots.append(s)
+        else:
+            children[p].append(s)
+
+    # Recursive descent assigning processor-column ranges [lo, hi) to
+    # subtrees; a supernode's own panels cycle over its assigned range.
+    col_range_lo = np.zeros(nsup, dtype=INDEX_DTYPE)
+    col_range_hi = np.full(nsup, grid.Pc, dtype=INDEX_DTYPE)
+    stack: list[int] = list(roots)
+    while stack:
+        s = stack.pop()
+        lo, hi = int(col_range_lo[s]), int(col_range_hi[s])
+        width = hi - lo
+        kids = children[s]
+        if not kids:
+            continue
+        if width <= 1:
+            for c in kids:
+                col_range_lo[c], col_range_hi[c] = lo, hi
+                stack.append(c)
+            continue
+        # Split the range among children proportionally to subtree work,
+        # heaviest children first, each getting at least one column.
+        kids_sorted = sorted(kids, key=lambda c: -subtree[c])
+        total = sum(subtree[c] for c in kids) or 1.0
+        pos = lo
+        for idx, c in enumerate(kids_sorted):
+            remaining_kids = len(kids_sorted) - idx
+            avail = hi - pos
+            share = max(1, min(avail - (remaining_kids - 1),
+                               int(round(width * subtree[c] / total)) or 1))
+            col_range_lo[c], col_range_hi[c] = pos, pos + share
+            pos += share
+            if pos >= hi:  # out of columns: the rest share the last column
+                pos = hi - 1
+        stack.extend(kids)
+
+    # Panels cycle within their supernode's column range.
+    mapJ = np.empty(N, dtype=INDEX_DTYPE)
+    counters = np.zeros(nsup, dtype=INDEX_DTYPE)
+    for k in range(N):
+        s = int(panel_snode[k])
+        lo, hi = int(col_range_lo[s]), int(col_range_hi[s])
+        mapJ[k] = lo + int(counters[s]) % max(1, hi - lo)
+        counters[s] += 1
+
+    depth = part.panel_depths()
+    mapI = heuristic_vector(row_heuristic, wm.workI, grid.Pr, depth)
+    return CartesianMap(grid, mapI, mapJ, label=f"subcube/{row_heuristic}")

@@ -1,0 +1,106 @@
+"""Exact generators for the paper's regular benchmark problems.
+
+``DENSE*`` are dense SPD matrices; ``GRID*`` are 2-D k x k grid problems with
+a 9-point stencil; ``CUBE*`` are 3-D k x k x k grid problems with a 27-point
+stencil. The 9/27-point stencils correspond to bilinear/trilinear finite
+elements, the standard source of such benchmark matrices, and produce the
+clique structure nested dissection analysis assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.matrices.problem import ProblemMatrix
+from repro.matrices.spd import make_spd
+
+
+def dense_matrix(n: int, seed: int = 0, name: str | None = None) -> ProblemMatrix:
+    """Dense SPD matrix of order ``n`` stored sparsely (every entry nonzero)."""
+    rng = np.random.default_rng(seed)
+    B = rng.standard_normal((n, n)) * 0.1
+    A = B @ B.T + n * np.eye(n)
+    return ProblemMatrix(
+        name=name or f"DENSE{n}",
+        A=sparse.csc_matrix(A),
+        coords=None,
+        recommended_ordering="natural",
+    )
+
+
+def _grid_offsets(dim: int, full: bool = True) -> np.ndarray:
+    """Nonzero offsets of the grid stencil.
+
+    ``full=True`` gives the {-1,0,1}^dim box stencil (9-point in 2-D,
+    27-point in 3-D, bilinear/trilinear elements); ``full=False`` gives the
+    star stencil (5-point / 7-point finite differences).
+    """
+    ranges = [(-1, 0, 1)] * dim
+    mesh = np.array(np.meshgrid(*ranges, indexing="ij")).reshape(dim, -1).T
+    mesh = mesh[np.any(mesh != 0, axis=1)]
+    if not full:
+        mesh = mesh[np.sum(np.abs(mesh), axis=1) == 1]
+    return mesh
+
+
+def _grid_matrix(
+    shape: tuple[int, ...], name: str, full_stencil: bool = True
+) -> ProblemMatrix:
+    dims = len(shape)
+    n = int(np.prod(shape))
+    idx = np.arange(n).reshape(shape)
+    coords = np.stack(
+        np.meshgrid(*[np.arange(s) for s in shape], indexing="ij"), axis=-1
+    ).reshape(n, dims)
+
+    rows_list, cols_list = [], []
+    for off in _grid_offsets(dims, full_stencil):
+        src_slices, dst_slices = [], []
+        for d in range(dims):
+            o = int(off[d])
+            if o == 0:
+                src_slices.append(slice(None))
+                dst_slices.append(slice(None))
+            elif o == 1:
+                src_slices.append(slice(0, shape[d] - 1))
+                dst_slices.append(slice(1, shape[d]))
+            else:
+                src_slices.append(slice(1, shape[d]))
+                dst_slices.append(slice(0, shape[d] - 1))
+        rows_list.append(idx[tuple(src_slices)].ravel())
+        cols_list.append(idx[tuple(dst_slices)].ravel())
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = -np.ones(rows.shape[0])
+    off = sparse.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    A = make_spd(off.tocsr(), shift=1.0)
+    return ProblemMatrix(name=name, A=A, coords=coords, recommended_ordering="nd")
+
+
+def grid2d_matrix(
+    k: int, name: str | None = None, stencil: int = 9
+) -> ProblemMatrix:
+    """2-D ``k x k`` grid problem, ``n = k^2`` equations.
+
+    ``stencil`` is 9 (bilinear elements, the paper's benchmark family) or 5
+    (finite differences).
+    """
+    if stencil not in (5, 9):
+        raise ValueError("2-D stencil must be 5 or 9")
+    return _grid_matrix((k, k), name or f"GRID{k}", full_stencil=stencil == 9)
+
+
+def cube3d_matrix(
+    k: int, name: str | None = None, stencil: int = 27
+) -> ProblemMatrix:
+    """3-D ``k x k x k`` grid problem, ``n = k^3``.
+
+    ``stencil`` is 27 (trilinear elements, the paper's family) or 7
+    (finite differences).
+    """
+    if stencil not in (7, 27):
+        raise ValueError("3-D stencil must be 7 or 27")
+    return _grid_matrix(
+        (k, k, k), name or f"CUBE{k}", full_stencil=stencil == 27
+    )

@@ -1,0 +1,75 @@
+"""Minimal MatrixMarket coordinate I/O.
+
+Only the subset needed for sparse symmetric benchmark matrices is supported:
+``matrix coordinate real {general|symmetric}`` and
+``matrix coordinate pattern {general|symmetric}``. Harwell-Boeing matrices
+are widely redistributed in this format, so a user with the real BCSSTK files
+can drop them in and bypass the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+def read_matrix_market(path) -> sparse.csc_matrix:
+    """Read a MatrixMarket coordinate file into a full symmetric CSC matrix.
+
+    Symmetric files are expanded to both triangles. 1-based indices are
+    converted to 0-based.
+    """
+    with open(path, "r") as fh:
+        header = fh.readline().strip().split()
+        if len(header) < 4 or header[0] != "%%MatrixMarket" or header[1] != "matrix":
+            raise ValueError(f"not a MatrixMarket matrix file: {path}")
+        fmt, field = header[2], header[3]
+        symmetry = header[4] if len(header) > 4 else "general"
+        if fmt != "coordinate":
+            raise ValueError(f"unsupported MatrixMarket format {fmt!r}")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported MatrixMarket field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(tok) for tok in line.split())
+
+        data = np.loadtxt(fh, ndmin=2) if nnz else np.empty((0, 3))
+
+    if data.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, found {data.shape[0]}")
+    rows = data[:, 0].astype(np.int64) - 1
+    cols = data[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(nnz)
+    else:
+        vals = data[:, 2].astype(np.float64)
+
+    M = sparse.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    if symmetry == "symmetric":
+        off = M.copy()
+        off.setdiag(0.0)
+        M = M + off.T
+    out = M.tocsc()
+    out.sum_duplicates()
+    return out
+
+
+def write_matrix_market(path, A: sparse.spmatrix, symmetric: bool = True) -> None:
+    """Write ``A`` as MatrixMarket coordinate real (lower triangle if symmetric)."""
+    M = A.tocoo()
+    if symmetric:
+        mask = M.row >= M.col
+        rows, cols, vals = M.row[mask], M.col[mask], M.data[mask]
+        sym = "symmetric"
+    else:
+        rows, cols, vals = M.row, M.col, M.data
+        sym = "general"
+    with open(path, "w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        fh.write(f"{M.shape[0]} {M.shape[1]} {rows.shape[0]}\n")
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")

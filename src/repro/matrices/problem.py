@@ -1,0 +1,55 @@
+"""The :class:`ProblemMatrix` container passed between pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+
+@dataclass
+class ProblemMatrix:
+    """A named SPD test problem.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in tables (e.g. ``"GRID150"``).
+    A:
+        Full (both triangles stored) symmetric positive definite matrix in
+        CSC format.
+    coords:
+        Optional ``n x d`` array of geometric vertex coordinates. Present for
+        grid/cube problems where it enables geometric nested dissection; the
+        vertex coordinate of equation ``i`` is ``coords[vertex_of[i]]`` when
+        ``vertex_of`` is given (multi-dof problems), else ``coords[i]``.
+    recommended_ordering:
+        The ordering the paper used for this problem family: ``"nd"`` for
+        grid problems (nested dissection), ``"mmd"`` for irregular matrices
+        (multiple minimum degree), ``"natural"`` for dense.
+    """
+
+    name: str
+    A: sparse.csc_matrix
+    coords: np.ndarray | None = None
+    recommended_ordering: str = "mmd"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return self.A.nnz
+
+    def __post_init__(self) -> None:
+        if not sparse.issparse(self.A):
+            raise TypeError("A must be a scipy sparse matrix")
+        self.A = self.A.tocsc()
+        if self.A.shape[0] != self.A.shape[1]:
+            raise ValueError("A must be square")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProblemMatrix({self.name!r}, n={self.n}, nnz={self.nnz})"

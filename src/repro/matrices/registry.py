@@ -1,0 +1,227 @@
+"""Named benchmark suites mirroring the paper's Table 1 and Table 6.
+
+Each entry records the generator, per-scale parameters, and the statistics the
+paper published (equations, nonzeros in L, operations to factor) so that the
+Table 1/6 experiments can print paper-vs-measured columns side by side.
+
+Scales
+------
+``paper``   the published problem sizes (up to n = 90,000);
+``medium``  reduced sizes that keep every experiment's qualitative shape but
+            run in seconds — the default for the benchmark harness;
+``small``   tiny instances for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.matrices.generators import cube3d_matrix, dense_matrix, grid2d_matrix
+from repro.matrices.problem import ProblemMatrix
+from repro.matrices.synthetic import (
+    bcsstk_like_matrix,
+    copter_like_matrix,
+    fleet_like_matrix,
+)
+
+SCALES = ("paper", "medium", "small")
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Statistics from the paper's Table 1 / Table 6."""
+
+    equations: int
+    nnz_factor: int
+    factor_ops_millions: float
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    name: str
+    build: Callable[[str], ProblemMatrix]
+    paper: PaperStats
+    suite: str  # "table1" or "table6"
+
+
+def _dense(name: str, sizes: dict[str, int]) -> Callable[[str], ProblemMatrix]:
+    return lambda scale: dense_matrix(sizes[scale], name=name)
+
+
+def _grid(name: str, sizes: dict[str, int]) -> Callable[[str], ProblemMatrix]:
+    return lambda scale: grid2d_matrix(sizes[scale], name=name)
+
+
+def _cube(name: str, sizes: dict[str, int]) -> Callable[[str], ProblemMatrix]:
+    return lambda scale: cube3d_matrix(sizes[scale], name=name)
+
+
+def _bcsstk(
+    name: str, sizes: dict[str, int], seed: int, **kw
+) -> Callable[[str], ProblemMatrix]:
+    return lambda scale: bcsstk_like_matrix(sizes[scale], seed=seed, name=name, **kw)
+
+
+def _copter(name: str, sizes: dict[str, int], seed: int) -> Callable[[str], ProblemMatrix]:
+    return lambda scale: copter_like_matrix(sizes[scale], seed=seed, name=name)
+
+
+def _fleet(name: str, sizes: dict[str, int], seed: int) -> Callable[[str], ProblemMatrix]:
+    return lambda scale: fleet_like_matrix(sizes[scale], seed=seed, name=name)
+
+
+_SPECS: list[ProblemSpec] = [
+    # ---- Table 1 suite -------------------------------------------------
+    ProblemSpec(
+        "DENSE1024",
+        _dense("DENSE1024", {"paper": 1024, "medium": 384, "small": 96}),
+        PaperStats(1_024, 523_776, 358.4),
+        "table1",
+    ),
+    ProblemSpec(
+        "DENSE2048",
+        _dense("DENSE2048", {"paper": 2048, "medium": 512, "small": 128}),
+        PaperStats(2_048, 2_096_128, 2_865.4),
+        "table1",
+    ),
+    ProblemSpec(
+        "GRID150",
+        _grid("GRID150", {"paper": 150, "medium": 64, "small": 16}),
+        PaperStats(22_500, 656_027, 56.5),
+        "table1",
+    ),
+    ProblemSpec(
+        "GRID300",
+        _grid("GRID300", {"paper": 300, "medium": 96, "small": 24}),
+        PaperStats(90_000, 3_266_773, 482.0),
+        "table1",
+    ),
+    ProblemSpec(
+        "CUBE30",
+        _cube("CUBE30", {"paper": 30, "medium": 14, "small": 7}),
+        PaperStats(27_000, 6_233_404, 3_904.3),
+        "table1",
+    ),
+    ProblemSpec(
+        "CUBE35",
+        _cube("CUBE35", {"paper": 35, "medium": 16, "small": 8}),
+        PaperStats(42_875, 12_093_814, 10_114.7),
+        "table1",
+    ),
+    # BCSSTK* generator parameters are calibrated against the published
+    # factor statistics (see EXPERIMENTS.md, "stand-in calibration").
+    ProblemSpec(
+        "BCSSTK15",
+        _bcsstk(
+            "BCSSTK15",
+            {"paper": 3_948, "medium": 1_500, "small": 330},
+            seed=15,
+            neighbors=13,
+            aspect=(1.8, 1.3, 1.0),
+        ),
+        PaperStats(3_948, 647_274, 165.0),
+        "table1",
+    ),
+    ProblemSpec(
+        "BCSSTK29",
+        _bcsstk(
+            "BCSSTK29",
+            {"paper": 13_992, "medium": 2_400, "small": 420},
+            seed=29,
+            neighbors=7,
+            aspect=(5.0, 2.0, 1.0),
+        ),
+        PaperStats(13_992, 1_680_804, 393.1),
+        "table1",
+    ),
+    ProblemSpec(
+        "BCSSTK31",
+        _bcsstk(
+            "BCSSTK31",
+            {"paper": 35_588, "medium": 3_600, "small": 510},
+            seed=31,
+            neighbors=6,
+            aspect=(6.0, 3.0, 1.0),
+        ),
+        PaperStats(35_588, 5_272_659, 2_551.0),
+        "table1",
+    ),
+    ProblemSpec(
+        "BCSSTK33",
+        _bcsstk(
+            "BCSSTK33",
+            {"paper": 8_738, "medium": 1_800, "small": 360},
+            seed=33,
+            neighbors=14,
+            aspect=(1.5, 1.5, 1.0),
+        ),
+        PaperStats(8_738, 2_538_064, 1_203.5),
+        "table1",
+    ),
+    # ---- Table 6 suite (larger problems) -------------------------------
+    ProblemSpec(
+        "DENSE4096",
+        _dense("DENSE4096", {"paper": 4096, "medium": 768, "small": 160}),
+        PaperStats(4_096, 8_386_560, 22_915.0),
+        "table6",
+    ),
+    ProblemSpec(
+        "CUBE40",
+        _cube("CUBE40", {"paper": 40, "medium": 18, "small": 9}),
+        PaperStats(64_000, 21_408_189, 23_084.0),
+        "table6",
+    ),
+    ProblemSpec(
+        "COPTER2",
+        _copter("COPTER2", {"paper": 55_476, "medium": 4_500, "small": 600}, seed=2),
+        PaperStats(55_476, 13_501_253, 11_377.0),
+        "table6",
+    ),
+    ProblemSpec(
+        "10FLEET",
+        _fleet("10FLEET", {"paper": 11_222, "medium": 2_000, "small": 400}, seed=10),
+        PaperStats(11_222, 4_782_460, 7_450.0),
+        "table6",
+    ),
+]
+
+REGISTRY: dict[str, ProblemSpec] = {spec.name: spec for spec in _SPECS}
+BENCHMARK_SUITE: tuple[str, ...] = tuple(s.name for s in _SPECS if s.suite == "table1")
+LARGE_SUITE: tuple[str, ...] = tuple(s.name for s in _SPECS if s.suite == "table6")
+
+# Table 7 factors these six problems on 144/196 nodes.
+TABLE7_SUITE: tuple[str, ...] = (
+    "CUBE35",
+    "CUBE40",
+    "DENSE4096",
+    "BCSSTK31",
+    "COPTER2",
+    "10FLEET",
+)
+
+
+def problem_names(suite: str = "table1") -> tuple[str, ...]:
+    """Names in a suite: ``"table1"``, ``"table6"``, ``"table7"`` or ``"all"``."""
+    if suite == "table1":
+        return BENCHMARK_SUITE
+    if suite == "table6":
+        return LARGE_SUITE
+    if suite == "table7":
+        return TABLE7_SUITE
+    if suite == "all":
+        return BENCHMARK_SUITE + LARGE_SUITE
+    raise KeyError(f"unknown suite {suite!r}")
+
+
+def get_problem(name: str, scale: str = "medium") -> ProblemMatrix:
+    """Build benchmark problem ``name`` at ``scale``; attaches paper stats."""
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(f"unknown problem {name!r}; known: {sorted(REGISTRY)}")
+    problem = spec.build(scale)
+    problem.meta["paper_stats"] = spec.paper
+    problem.meta["scale"] = scale
+    return problem

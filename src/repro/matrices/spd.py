@@ -1,0 +1,54 @@
+"""Utilities for building and checking symmetric positive definite matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+def is_symmetric_pattern(A: sparse.spmatrix, tol: float = 0.0) -> bool:
+    """True when ``A`` has a structurally and numerically symmetric pattern."""
+    A = A.tocsr()
+    diff = (A - A.T).tocoo()
+    if diff.nnz == 0:
+        return True
+    return bool(np.max(np.abs(diff.data)) <= tol)
+
+
+def make_spd(A: sparse.spmatrix, shift: float = 1.0) -> sparse.csc_matrix:
+    """Return a strictly diagonally dominant (hence SPD) version of ``A``.
+
+    The pattern is symmetrized (``A + A.T``), off-diagonal magnitudes are
+    preserved, and the diagonal is set to ``rowsum(|offdiag|) + shift``.
+    Diagonal dominance is the standard trick for turning an arbitrary
+    symmetric pattern into an SPD test matrix without changing its structure.
+    """
+    A = A.tocsr()
+    S = (A + A.T) * 0.5
+    S = S.tolil()
+    S.setdiag(0.0)
+    S = S.tocsr()
+    rowsums = np.asarray(np.abs(S).sum(axis=1)).ravel()
+    D = sparse.diags(rowsums + shift)
+    return (S + D).tocsc()
+
+
+def random_spd_sparse(
+    n: int,
+    density: float = 0.05,
+    seed: int = 0,
+    shift: float = 1.0,
+) -> sparse.csc_matrix:
+    """Random sparse SPD matrix with a symmetric pattern (for tests).
+
+    ``density`` controls the expected off-diagonal fill of one triangle.
+    """
+    rng = np.random.default_rng(seed)
+    nnz_target = max(0, int(density * n * (n - 1) / 2))
+    rows = rng.integers(0, n, size=nnz_target * 2)
+    cols = rng.integers(0, n, size=nnz_target * 2)
+    mask = rows > cols
+    rows, cols = rows[mask][:nnz_target], cols[mask][:nnz_target]
+    vals = rng.standard_normal(rows.shape[0])
+    L = sparse.coo_matrix((vals, (rows, cols)), shape=(n, n))
+    return make_spd(L + L.T, shift=shift)

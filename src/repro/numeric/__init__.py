@@ -1,0 +1,30 @@
+"""Numeric sparse Cholesky factorization.
+
+The block kernels (BFAC/BDIV/BMOD) operate on the dense blocks of the
+supernodal structure; :class:`BlockCholesky` performs the full sequential
+block factorization and can also replay a schedule produced by the parallel
+simulator, proving that the simulated dependency structure is the true one.
+A simplicial reference factorization and triangular solves complete the
+layer; everything is verified against scipy in the test suite.
+"""
+
+from repro.numeric.dense_kernels import bfac_kernel, bdiv_kernel, bmod_kernel
+from repro.numeric.blockfact import BlockCholesky
+from repro.numeric.multifrontal import MultifrontalCholesky
+from repro.numeric.parallel import parallel_block_cholesky
+from repro.numeric.schedules import leftlooking_schedule, rightlooking_schedule
+from repro.numeric.simplicial import simplicial_cholesky
+from repro.numeric.solve import solve_with_factor
+
+__all__ = [
+    "bfac_kernel",
+    "bdiv_kernel",
+    "bmod_kernel",
+    "BlockCholesky",
+    "MultifrontalCholesky",
+    "parallel_block_cholesky",
+    "leftlooking_schedule",
+    "rightlooking_schedule",
+    "simplicial_cholesky",
+    "solve_with_factor",
+]

@@ -1,0 +1,46 @@
+"""Dense block kernels.
+
+These are the Level-3 BLAS operations of §3.1 — the paper uses hand-tuned
+DPOTRF/DTRSM/DGEMM; we use numpy's BLAS bindings. Each kernel returns its
+flop count so callers can cross-check the work model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro.blocks.workmodel import chol_flops
+
+
+def bfac_kernel(D: np.ndarray) -> tuple[np.ndarray, int]:
+    """BFAC: dense Cholesky of a diagonal block. Returns (L, flops).
+
+    ``D`` must be symmetric positive definite (full square storage); the
+    result is lower triangular.
+    """
+    L = np.linalg.cholesky(D)
+    return L, chol_flops(D.shape[0])
+
+
+def bdiv_kernel(B: np.ndarray, L_KK: np.ndarray) -> tuple[np.ndarray, int]:
+    """BDIV: ``B <- B * L_KK^{-T}`` (triangular solve from the right).
+
+    ``B`` is the r x w subdiagonal block, ``L_KK`` the factored w x w
+    diagonal. flops = r * w^2.
+    """
+    out = sla.solve_triangular(L_KK, B.T, lower=True, trans="N").T
+    r, w = B.shape
+    return np.ascontiguousarray(out), r * w * w
+
+
+def bmod_kernel(L_IK: np.ndarray, L_JK: np.ndarray) -> tuple[np.ndarray, int]:
+    """BMOD update term ``L_IK @ L_JK^T``. Returns (U, flops).
+
+    The caller subtracts U from the destination block at the right row and
+    column positions. flops = 2 * r_I * r_J * w.
+    """
+    U = L_IK @ L_JK.T
+    rI, w = L_IK.shape
+    rJ = L_JK.shape[0]
+    return U, 2 * rI * rJ * w

@@ -1,0 +1,50 @@
+"""Sequential task schedules: left-looking and right-looking orders.
+
+The paper's §2.1 pseudo-code is right-looking (fan-out): when panel K
+finishes, it immediately pushes its updates outward. The left-looking
+(fan-in) formulation delays every update into panel J until just before J is
+factored. Both are linear extensions of the same task DAG, so they execute
+the identical set of BFAC/BDIV/BMOD operations — a fact the authors'
+companion work (Rothberg & Gupta's left/right/multifrontal comparison) is
+built on, and which the test suite verifies by replaying both schedules
+through the numeric engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fanout.tasks import BDIV, BFAC, BMOD, TaskGraph
+
+
+def rightlooking_schedule(tg: TaskGraph) -> np.ndarray:
+    """Task order of the right-looking (fan-out) sequential factorization.
+
+    For each source panel K ascending: BFAC(K), the BDIVs of its column,
+    then every BMOD sourced from column K.
+    """
+    kinds = tg.task_kind
+    src_panel = np.where(
+        kinds == BMOD,
+        tg.block_J[np.maximum(tg.task_src1, 0)],
+        tg.block_J[tg.task_block],
+    )
+    kind_rank = np.choose(kinds, [0, 1, 2])  # BFAC, BDIV, BMOD
+    dest_key = tg.block_I[tg.task_block]
+    order = np.lexsort((dest_key, kind_rank, src_panel))
+    return order.astype(np.int64)
+
+
+def leftlooking_schedule(tg: TaskGraph) -> np.ndarray:
+    """Task order of the left-looking (fan-in) sequential factorization.
+
+    For each destination panel J ascending: all BMODs into column J first,
+    then BFAC(J), then the BDIVs of column J.
+    """
+    kinds = tg.task_kind
+    dest_panel = tg.block_J[tg.task_block]
+    # BMOD before BFAC before BDIV within a destination column.
+    kind_rank = np.choose(kinds, [1, 2, 0])
+    dest_row = tg.block_I[tg.task_block]
+    order = np.lexsort((dest_row, kind_rank, dest_panel))
+    return order.astype(np.int64)

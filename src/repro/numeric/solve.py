@@ -1,0 +1,41 @@
+"""Triangular solves with a computed factor: the end-to-end user path.
+
+``solve_with_factor`` takes the original (unpermuted) right-hand side,
+applies the factorization permutation, runs forward/backward substitution,
+and un-permutes — i.e. it solves ``A x = b`` given ``P A P^T = L L^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import spsolve_triangular
+
+from repro.ordering.base import Ordering
+
+
+def solve_with_factor(
+    L: sparse.spmatrix,
+    b: np.ndarray,
+    ordering: Ordering | np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``A x = b`` where ``P A P^T = L L^T``.
+
+    ``ordering`` is the permutation used during factorization (``None`` for
+    identity). Accepts a single vector or a matrix of right-hand sides.
+    """
+    L = L.tocsr()
+    b = np.asarray(b, dtype=np.float64)
+    if ordering is None:
+        perm = None
+    else:
+        perm = ordering.perm if isinstance(ordering, Ordering) else np.asarray(ordering)
+
+    pb = b[perm] if perm is not None else b
+    y = spsolve_triangular(L, pb, lower=True)
+    z = spsolve_triangular(L.T.tocsr(), y, lower=False)
+    if perm is None:
+        return z
+    x = np.empty_like(z)
+    x[perm] = z
+    return x

@@ -1,0 +1,18 @@
+"""Fill-reducing orderings.
+
+The paper pre-orders grid problems with nested dissection (asymptotically
+optimal for grids) and irregular problems with multiple minimum degree; both
+are implemented here, plus natural and RCM baselines.
+"""
+
+from repro.ordering.base import Ordering, order_problem, permute_spd
+from repro.ordering.nested_dissection import nested_dissection
+from repro.ordering.minimum_degree import minimum_degree
+
+__all__ = [
+    "Ordering",
+    "order_problem",
+    "permute_spd",
+    "nested_dissection",
+    "minimum_degree",
+]

@@ -1,0 +1,72 @@
+"""Ordering containers, permutation application, and method dispatch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.rcm import reverse_cuthill_mckee
+from repro.util.arrays import as_index_array, invert_permutation, is_permutation
+
+
+@dataclass
+class Ordering:
+    """A fill-reducing ordering.
+
+    ``perm[k]`` is the original index of the k-th column in the new order
+    (scipy "take" convention); ``iperm`` is its inverse (``iperm[old] = new``).
+    """
+
+    perm: np.ndarray
+    method: str = "natural"
+
+    def __post_init__(self) -> None:
+        self.perm = as_index_array(self.perm)
+        if not is_permutation(self.perm):
+            raise ValueError("perm is not a permutation")
+        self.iperm = invert_permutation(self.perm)
+
+    @property
+    def n(self) -> int:
+        return self.perm.shape[0]
+
+
+def permute_spd(A: sparse.spmatrix, ordering: Ordering | np.ndarray) -> sparse.csc_matrix:
+    """Return the symmetrically permuted matrix ``P A P^T``.
+
+    Row/column ``k`` of the result is row/column ``perm[k]`` of ``A``.
+    """
+    perm = ordering.perm if isinstance(ordering, Ordering) else as_index_array(ordering)
+    A = A.tocsc()
+    return A[perm][:, perm].tocsc()
+
+
+def order_problem(problem, method: str | None = None, **kwargs) -> Ordering:
+    """Compute an ordering for a :class:`ProblemMatrix`.
+
+    ``method`` defaults to the problem's ``recommended_ordering``:
+    ``"natural"`` (identity), ``"rcm"``, ``"nd"`` (nested dissection,
+    geometric when coordinates are available), or ``"mmd"`` (multiple minimum
+    degree).
+    """
+    # Imported here to avoid an import cycle at package-init time.
+    from repro.ordering.minimum_degree import minimum_degree
+    from repro.ordering.nested_dissection import nested_dissection
+
+    method = method or problem.recommended_ordering
+    n = problem.n
+    if method == "natural":
+        return Ordering(np.arange(n), method="natural")
+    graph = AdjacencyGraph.from_sparse(problem.A)
+    if method == "rcm":
+        return Ordering(reverse_cuthill_mckee(graph), method="rcm")
+    if method == "nd":
+        perm = nested_dissection(graph, coords=problem.coords, **kwargs)
+        return Ordering(perm, method="nd")
+    if method == "mmd":
+        perm = minimum_degree(graph, **kwargs)
+        return Ordering(perm, method="mmd")
+    raise KeyError(f"unknown ordering method {method!r}")

@@ -1,0 +1,149 @@
+"""Minimum-degree ordering with multiple elimination (MMD, Liu 1985).
+
+A quotient-graph implementation: eliminated vertices become *elements*; each
+remaining *supervariable* tracks the set of adjacent supervariables and the
+set of adjacent elements. Indistinguishable supervariables (identical
+adjacency) are merged, and — following Liu's multiple-elimination refinement —
+all minimum-degree vertices of an independent set are eliminated before any
+degree is recomputed.
+
+This is the ordering the paper uses for the irregular (Harwell-Boeing/
+application) benchmark matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.util.arrays import INDEX_DTYPE
+
+
+def minimum_degree(
+    graph: AdjacencyGraph,
+    multiple: bool = True,
+    approximate: bool = False,
+) -> np.ndarray:
+    """Return the (M)MD permutation: ``perm[k]`` = original vertex placed k-th.
+
+    ``multiple=False`` degrades to classical single-elimination minimum
+    degree (useful for comparing fill). ``approximate=True`` replaces the
+    exact external degree (a set union per update) with the Amestoy-Davis-
+    Duff style upper bound ``|A_u| + sum_e |L_e \\ {u}|`` — cheaper per
+    update, slightly worse fill, the trade every modern AMD code makes.
+    """
+    n = graph.n
+    if n == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+
+    # Quotient graph state. adj_vars[v]/adj_elts[v] exist only for live
+    # supervariable representatives.
+    adj_vars: list[set[int]] = [set(graph.neighbors(v).tolist()) for v in range(n)]
+    adj_elts: list[set[int]] = [set() for _ in range(n)]
+    elt_vars: dict[int, set[int]] = {}  # element id -> boundary supervariables
+    weight = np.ones(n, dtype=INDEX_DTYPE)  # columns merged into supervariable
+    members: list[list[int]] = [[v] for v in range(n)]  # merged original vertices
+    alive = np.ones(n, dtype=bool)
+    degree = np.array([len(a) for a in adj_vars], dtype=INDEX_DTYPE)
+
+    order: list[int] = []
+    next_elt = n  # element ids disjoint from vertex ids
+
+    def exact_degree(v: int) -> int:
+        """External degree of supervariable v (sum of supervariable weights)."""
+        if approximate:
+            # ADD-style bound: element boundaries counted with multiplicity.
+            total = sum(weight[u] for u in adj_vars[v])
+            for e in adj_elts[v]:
+                total += sum(weight[u] for u in elt_vars[e] if u != v)
+            return int(total)
+        seen = set(adj_vars[v])
+        for e in adj_elts[v]:
+            seen.update(elt_vars[e])
+        seen.discard(v)
+        return int(sum(weight[u] for u in seen))
+
+    def reachable(v: int) -> set[int]:
+        s = set(adj_vars[v])
+        for e in adj_elts[v]:
+            s.update(elt_vars[e])
+        s.discard(v)
+        return s
+
+    remaining = n
+    while remaining > 0:
+        live = np.flatnonzero(alive)
+        dmin = degree[live].min()
+        # Candidates at minimum degree; with multiple elimination take an
+        # independent set of them (no two adjacent in the quotient graph).
+        candidates = live[degree[live] == dmin]
+        if not multiple:
+            candidates = candidates[:1]
+        eliminated_this_round: list[int] = []
+        blocked: set[int] = set()
+        touched: set[int] = set()
+        for v in candidates.tolist():
+            if v in blocked or not alive[v]:
+                continue
+            boundary = reachable(v)
+            # --- eliminate v: absorb its elements into a new element -------
+            order.extend(members[v])
+            alive[v] = False
+            remaining -= 1
+            eliminated_this_round.append(v)
+            blocked.update(boundary)
+
+            e_new = next_elt
+            next_elt += 1
+            elt_vars[e_new] = boundary
+            absorbed = adj_elts[v]
+            for u in boundary:
+                adj_vars[u].discard(v)
+                # Absorbed elements disappear; v's variable adjacency becomes
+                # element adjacency via e_new.
+                adj_elts[u] -= absorbed
+                adj_elts[u].add(e_new)
+                # Variable-variable edges inside the new element are redundant
+                # (covered by e_new); prune them to keep sets small.
+                adj_vars[u] -= boundary
+                touched.add(u)
+            for e in absorbed:
+                elt_vars.pop(e, None)
+            adj_vars[v] = set()
+            adj_elts[v] = set()
+
+        # --- mass degree update for all supervariables adjacent to any newly
+        # formed element, with indistinguishable-variable merging ----------
+        touched = {u for u in touched if alive[u]}
+        # Merge indistinguishable supervariables (identical element and
+        # variable adjacency). Touched vertices all carry at least one
+        # element, so equal adjacency keys imply a shared element, i.e. the
+        # two variables are adjacent in the filled graph — the classic
+        # supervariable merge condition.
+        sig: dict[tuple, int] = {}
+        for u in sorted(touched):
+            key = (tuple(sorted(adj_elts[u])), tuple(sorted(adj_vars[u])))
+            w = sig.get(key)
+            if w is None or not adj_elts[u]:
+                sig[key] = u
+                continue
+            weight[w] += weight[u]
+            members[w].extend(members[u])
+            alive[u] = False
+            remaining -= 1
+            for e in adj_elts[u]:
+                elt_vars[e].discard(u)
+            for x in adj_vars[u]:
+                adj_vars[x].discard(u)
+                if x != w:
+                    adj_vars[x].add(w)
+                    adj_vars[w].add(x)
+            adj_vars[u] = set()
+            adj_elts[u] = set()
+        touched = {u for u in touched if alive[u]}
+        for u in touched:
+            degree[u] = exact_degree(u)
+
+    perm = np.asarray(order, dtype=INDEX_DTYPE)
+    assert perm.shape[0] == n
+    return perm

@@ -1,0 +1,194 @@
+"""High-level facade: one-call sparse Cholesky with mapping planning.
+
+For a downstream user who wants "factor my matrix, tell me how it would run
+in parallel" without touching the layer-by-layer API:
+
+>>> import repro
+>>> from repro.solver import SparseCholesky
+>>> chol = SparseCholesky(repro.grid2d_matrix(24).A).factor()
+>>> x = chol.solve(b)                                    # doctest: +SKIP
+>>> plan = chol.plan_parallel(P=64)                      # doctest: +SKIP
+>>> plan.mflops, plan.efficiency                         # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.blocks import BlockPartition, BlockStructure, WorkModel
+from repro.fanout import TaskGraph, assign_domains, block_owners, run_fanout
+from repro.graph.adjacency import AdjacencyGraph
+from repro.machine.params import PARAGON, MachineParams
+from repro.mapping import best_grid, cyclic_map, heuristic_map, square_grid
+from repro.mapping.balance import overall_balance_from_owners
+from repro.numeric import BlockCholesky, solve_with_factor
+from repro.ordering import minimum_degree, nested_dissection
+from repro.symbolic import symbolic_factor
+
+
+@dataclass
+class ParallelPlan:
+    """Predicted parallel execution of the factorization."""
+
+    P: int
+    mapping: str
+    mflops: float
+    efficiency: float
+    balance_bound: float
+    runtime_seconds: float
+    comm_megabytes: float
+    meta: dict = field(default_factory=dict)
+
+
+class SparseCholesky:
+    """Sparse Cholesky factorization with parallel planning.
+
+    Parameters
+    ----------
+    A:
+        Symmetric positive definite sparse matrix (both triangles stored,
+        or a lower/upper triangle — the pattern is symmetrized).
+    ordering:
+        ``"auto"`` (nested dissection when the graph is mesh-like — i.e.
+        bounded degree — else minimum degree), ``"nd"``, ``"mmd"``,
+        ``"natural"``, or an explicit permutation array.
+    block_size:
+        Panel width B (default 48, the paper's choice).
+    """
+
+    def __init__(
+        self,
+        A: sparse.spmatrix,
+        ordering: str | np.ndarray = "auto",
+        block_size: int = 48,
+    ):
+        A = A.tocsc()
+        if A.shape[0] != A.shape[1]:
+            raise ValueError("matrix must be square")
+        self.A = A
+        perm = self._resolve_ordering(A, ordering)
+        self.symbolic = symbolic_factor(A, perm)
+        self.partition = BlockPartition(self.symbolic, block_size)
+        self.structure = BlockStructure(self.partition)
+        self.workmodel = WorkModel(self.structure)
+        self._taskgraph: TaskGraph | None = None
+        self._numeric: BlockCholesky | None = None
+        self._L: sparse.csc_matrix | None = None
+
+    @staticmethod
+    def _resolve_ordering(A, ordering):
+        if isinstance(ordering, np.ndarray) or isinstance(ordering, list):
+            return np.asarray(ordering)
+        if ordering == "natural":
+            return None
+        graph = AdjacencyGraph.from_sparse(A)
+        if ordering == "nd":
+            return nested_dissection(graph)
+        if ordering == "mmd":
+            return minimum_degree(graph)
+        if ordering == "auto":
+            # Mesh-like (low, even degree) -> nested dissection; otherwise
+            # minimum degree, mirroring the paper's per-family choices.
+            deg = graph.degrees
+            if deg.size and deg.max() <= max(32, 3 * int(np.median(deg))):
+                return nested_dissection(graph)
+            return minimum_degree(graph)
+        raise KeyError(f"unknown ordering {ordering!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def taskgraph(self) -> TaskGraph:
+        if self._taskgraph is None:
+            self._taskgraph = TaskGraph(self.workmodel)
+        return self._taskgraph
+
+    def factor(self) -> "SparseCholesky":
+        """Numerically factor; returns self for chaining."""
+        self._numeric = BlockCholesky(self.structure, self.symbolic.A).factor()
+        self._L = self._numeric.to_csc()
+        return self
+
+    @property
+    def L(self) -> sparse.csc_matrix:
+        if self._L is None:
+            raise RuntimeError("call factor() first")
+        return self._L
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` using the computed factor."""
+        return solve_with_factor(self.L, b, self.symbolic.ordering)
+
+    # ------------------------------------------------------------------
+    def plan_parallel(
+        self,
+        P: int,
+        mapping: str = "ID/CY",
+        machine: MachineParams = PARAGON,
+        use_domains: bool = True,
+    ) -> ParallelPlan:
+        """Simulate the block fan-out factorization on ``P`` processors.
+
+        ``mapping`` is ``"cyclic"`` or a ``"<row>/<col>"`` heuristic pair.
+        """
+        try:
+            grid = square_grid(P)
+        except ValueError:
+            grid = best_grid(P)
+        wm = self.workmodel
+        if mapping == "cyclic":
+            cmap = cyclic_map(self.partition.npanels, grid)
+        else:
+            rh, _, ch = mapping.partition("/")
+            cmap = heuristic_map(wm, grid, rh.upper(), (ch or "CY").upper())
+        domains = assign_domains(wm, grid.P) if use_domains else None
+        owners = block_owners(self.taskgraph, cmap, domains)
+        res = run_fanout(
+            self.taskgraph, cmap, machine=machine, domains=domains,
+            factor_ops=self.symbolic.factor_ops,
+        )
+        return ParallelPlan(
+            P=grid.P,
+            mapping=cmap.name,
+            mflops=res.mflops,
+            efficiency=res.efficiency,
+            balance_bound=overall_balance_from_owners(wm, owners, grid.P),
+            runtime_seconds=res.t_parallel,
+            comm_megabytes=res.comm_bytes / 1e6,
+            meta={"grid": str(grid), "messages": res.comm_messages},
+        )
+
+    def compare_mappings(
+        self,
+        P: int,
+        mappings: tuple[str, ...] = ("cyclic", "ID/CY", "DW/CY"),
+        machine: MachineParams = PARAGON,
+    ) -> dict[str, ParallelPlan]:
+        """Plan several mappings at once (the paper's comparison, one call)."""
+        return {m: self.plan_parallel(P, m, machine) for m in mappings}
+
+    def recommend_processors(
+        self,
+        target_efficiency: float = 0.5,
+        candidates: tuple[int, ...] = (1, 4, 9, 16, 25, 36, 64, 100, 144, 196),
+        mapping: str = "ID/CY",
+        machine: MachineParams = PARAGON,
+    ) -> ParallelPlan:
+        """Largest machine that still achieves ``target_efficiency``.
+
+        Sweeps the candidate machine sizes (ascending) and returns the plan
+        for the largest P whose simulated efficiency meets the target; if
+        none does, returns the single-processor plan.
+        """
+        if not 0 < target_efficiency <= 1:
+            raise ValueError("target_efficiency must be in (0, 1]")
+        best = self.plan_parallel(1, mapping, machine)
+        for P in sorted(candidates):
+            if P == 1:
+                continue
+            plan = self.plan_parallel(P, mapping, machine)
+            if plan.efficiency >= target_efficiency:
+                best = plan
+        return best

@@ -1,0 +1,26 @@
+"""Symbolic factorization: elimination trees, column counts, supernodes.
+
+This layer computes everything about the factor L that does not depend on
+numerical values: the elimination tree, the nonzero count of every column,
+the (relaxed) supernode partition, and each supernode's row structure. The
+block layer is built directly on the supernodal structure.
+"""
+
+from repro.symbolic.etree import elimination_tree, etree_postorder, tree_depths
+from repro.symbolic.colcounts import column_counts, factor_ops_from_counts
+from repro.symbolic.supernodes import detect_supernodes, supernode_parents
+from repro.symbolic.amalgamation import amalgamate_supernodes
+from repro.symbolic.structure import SymbolicFactor, symbolic_factor
+
+__all__ = [
+    "elimination_tree",
+    "etree_postorder",
+    "tree_depths",
+    "column_counts",
+    "factor_ops_from_counts",
+    "detect_supernodes",
+    "supernode_parents",
+    "amalgamate_supernodes",
+    "SymbolicFactor",
+    "symbolic_factor",
+]

@@ -1,0 +1,114 @@
+"""Elimination tree computation and tree utilities (Liu 1990).
+
+The elimination tree is the dependency skeleton of sparse Cholesky: column j's
+parent is the row index of the first subdiagonal nonzero of L(:,j). It drives
+supernode detection, the Increasing-Depth mapping heuristic, and the domain
+decomposition of the block fan-out method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.util.arrays import INDEX_DTYPE
+
+
+def elimination_tree(A: sparse.spmatrix) -> np.ndarray:
+    """Parent array of the elimination tree of SPD matrix ``A``.
+
+    Liu's algorithm with path compression (virtual ancestors); roots have
+    parent -1. Works on the upper-triangular pattern column by column.
+    """
+    A = A.tocsc()
+    n = A.shape[0]
+    parent = np.full(n, -1, dtype=INDEX_DTYPE)
+    ancestor = np.full(n, -1, dtype=INDEX_DTYPE)
+    indptr, indices = A.indptr, A.indices
+    for j in range(n):
+        for p in range(indptr[j], indptr[j + 1]):
+            i = indices[p]
+            if i >= j:
+                continue
+            # Walk from i to the root of its current virtual tree, compressing.
+            while True:
+                anc = ancestor[i]
+                if anc == j:
+                    break
+                ancestor[i] = j
+                if anc == -1:
+                    parent[i] = j
+                    break
+                i = anc
+    return parent
+
+
+def etree_postorder(parent: np.ndarray) -> np.ndarray:
+    """Postorder permutation of the tree: ``post[k]`` = k-th node visited.
+
+    Children are visited before parents; each subtree occupies a contiguous
+    index range in the postorder. Iterative DFS (no recursion limit issues).
+    """
+    parent = np.asarray(parent)
+    n = parent.shape[0]
+    # Build child lists as head/next arrays; prepend so that child lists come
+    # out in increasing order when traversed (stable, deterministic).
+    head = np.full(n, -1, dtype=INDEX_DTYPE)
+    nxt = np.full(n, -1, dtype=INDEX_DTYPE)
+    for v in range(n - 1, -1, -1):
+        p = parent[v]
+        if p != -1:
+            nxt[v] = head[p]
+            head[p] = v
+    post = np.empty(n, dtype=INDEX_DTYPE)
+    k = 0
+    stack: list[int] = []
+    for root in range(n):
+        if parent[root] != -1:
+            continue
+        stack.append(root)
+        while stack:
+            v = stack[-1]
+            c = head[v]
+            if c == -1:
+                post[k] = v
+                k += 1
+                stack.pop()
+            else:
+                head[v] = nxt[c]  # consume child
+                stack.append(int(c))
+    if k != n:
+        raise ValueError("parent array is not a forest (cycle detected)")
+    return post
+
+
+def tree_depths(parent: np.ndarray) -> np.ndarray:
+    """Depth of every node (roots at depth 0).
+
+    Assumes ``parent[j] > j`` or -1 (true after etree postordering), so a
+    single reverse sweep suffices.
+    """
+    parent = np.asarray(parent)
+    n = parent.shape[0]
+    depth = np.zeros(n, dtype=INDEX_DTYPE)
+    for j in range(n - 1, -1, -1):
+        p = parent[j]
+        if p != -1:
+            if p <= j:
+                raise ValueError("tree_depths requires a postordered etree")
+            depth[j] = depth[p] + 1
+    return depth
+
+
+def subtree_sizes(parent: np.ndarray) -> np.ndarray:
+    """Number of nodes in each node's subtree (postordered etree required)."""
+    parent = np.asarray(parent)
+    n = parent.shape[0]
+    size = np.ones(n, dtype=INDEX_DTYPE)
+    for j in range(n):
+        p = parent[j]
+        if p != -1:
+            if p <= j:
+                raise ValueError("subtree_sizes requires a postordered etree")
+            size[p] += size[j]
+    return size

@@ -1,0 +1,17 @@
+"""Shared utilities: integer array helpers, table formatting, validation."""
+
+from repro.util.arrays import (
+    as_index_array,
+    invert_permutation,
+    is_permutation,
+    union_sorted,
+)
+from repro.util.formatting import format_table
+
+__all__ = [
+    "as_index_array",
+    "invert_permutation",
+    "is_permutation",
+    "union_sorted",
+    "format_table",
+]

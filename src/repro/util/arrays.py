@@ -1,0 +1,67 @@
+"""Small integer-array utilities used across the symbolic and mapping layers.
+
+Everything here operates on ``numpy.int64`` index arrays; the symbolic layer
+passes sorted row-index arrays around constantly, so these helpers are kept
+allocation-light (views where possible, single merged output otherwise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INDEX_DTYPE = np.int64
+
+
+def as_index_array(values) -> np.ndarray:
+    """Return ``values`` as a contiguous int64 index array."""
+    arr = np.ascontiguousarray(values, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D index array, got shape {arr.shape}")
+    return arr
+
+
+def is_permutation(perm) -> bool:
+    """True if ``perm`` is a permutation of ``0..len(perm)-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        return False
+    n = perm.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    valid = (perm >= 0) & (perm < n)
+    if not valid.all():
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def invert_permutation(perm) -> np.ndarray:
+    """Return the inverse of permutation ``perm`` (perm[i] = new position of i).
+
+    ``inv[perm[i]] = i``; raises ``ValueError`` when ``perm`` is not a
+    permutation.
+    """
+    perm = as_index_array(perm)
+    n = perm.shape[0]
+    inv = np.full(n, -1, dtype=INDEX_DTYPE)
+    inv[perm] = np.arange(n, dtype=INDEX_DTYPE)
+    if (inv < 0).any():
+        raise ValueError("not a permutation")
+    return inv
+
+
+def union_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Union of two *sorted unique* int arrays, returned sorted unique.
+
+    This is the hot path of supernodal symbolic factorization; ``np.union1d``
+    re-sorts its inputs, so use a merge that exploits pre-sortedness.
+    """
+    if a.size == 0:
+        return b
+    if b.size == 0:
+        return a
+    merged = np.concatenate([a, b])
+    merged.sort(kind="mergesort")
+    keep = np.empty(merged.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    return merged[keep]

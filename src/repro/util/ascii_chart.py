@@ -1,0 +1,53 @@
+"""Plain-text bar charts for figure reproduction in a terminal.
+
+No plotting stack is assumed; Figure 1's efficiency/balance scatter is
+rendered as paired horizontal bars, which preserves exactly the comparison
+the figure makes (balance bounds efficiency, both vary widely by matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    vmax: float | None = None,
+    fills: str = "#o*+x",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``series`` maps a series name to one value per label; values are scaled
+    to ``vmax`` (default: the max over all series) across ``width`` columns.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("at least one series required")
+    for name in names:
+        if len(series[name]) != len(labels):
+            raise ValueError(f"series {name!r} length != labels length")
+    flat = [v for name in names for v in series[name]]
+    top = vmax if vmax is not None else (max(flat) if flat else 1.0)
+    if top <= 0:
+        top = 1.0
+    label_w = max((len(str(l)) for l in labels), default=0)
+    name_w = max(len(n) for n in names)
+
+    lines = []
+    for i, label in enumerate(labels):
+        for j, name in enumerate(names):
+            v = float(series[name][i])
+            nchar = max(0, min(width, round(width * v / top)))
+            bar = fills[j % len(fills)] * nchar
+            prefix = str(label) if j == 0 else ""
+            lines.append(
+                f"{prefix:>{label_w}s} {name:>{name_w}s} |{bar:<{width}s}| "
+                f"{v:.3f}"
+            )
+        lines.append("")
+    legend = "  ".join(
+        f"{fills[j % len(fills)]} = {name}" for j, name in enumerate(names)
+    )
+    return "\n".join([legend, ""] + lines[:-1])

@@ -1,0 +1,43 @@
+"""Plain-text table formatting for the experiment harness.
+
+The paper reports its results as tables; every experiment module renders its
+output through :func:`format_table` so that benchmark logs read like the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

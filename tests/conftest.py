@@ -1,0 +1,45 @@
+"""Shared fixtures: small problems with the full pipeline prepared."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blocks import BlockPartition, BlockStructure, WorkModel
+from repro.fanout import TaskGraph
+from repro.matrices import grid2d_matrix, random_spd_sparse
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+
+
+@pytest.fixture(scope="session")
+def grid12_pipeline():
+    """A 12x12 grid problem, fully prepared with B=8."""
+    problem = grid2d_matrix(12)
+    sf = symbolic_factor(problem.A, order_problem(problem, "nd"))
+    part = BlockPartition(sf, 8)
+    structure = BlockStructure(part)
+    wm = WorkModel(structure)
+    tg = TaskGraph(wm)
+    return problem, sf, part, structure, wm, tg
+
+
+@pytest.fixture(scope="session")
+def random_spd_pipeline():
+    """An irregular random SPD problem (n=150), MMD-ordered, B=6."""
+    from repro.matrices.problem import ProblemMatrix
+
+    A = random_spd_sparse(150, density=0.04, seed=7)
+    problem = ProblemMatrix("RAND150", A, recommended_ordering="mmd")
+    sf = symbolic_factor(problem.A, order_problem(problem, "mmd"))
+    part = BlockPartition(sf, 6)
+    structure = BlockStructure(part)
+    wm = WorkModel(structure)
+    tg = TaskGraph(wm)
+    return problem, sf, part, structure, wm, tg
+
+
+def dense_cholesky_reference(A):
+    """Dense lower Cholesky of a (sparse or dense) SPD matrix."""
+    Ad = A.toarray() if hasattr(A, "toarray") else np.asarray(A)
+    return np.linalg.cholesky(Ad)

@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.analysis import communication_volume
+from repro.fanout import assign_domains, block_owners, run_fanout
+from repro.mapping import ProcessorGrid, cyclic_map, square_grid
+
+
+class TestCommunicationVolume:
+    def test_zero_on_single_processor(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = np.zeros(tg.nblocks, dtype=int)
+        rep = communication_volume(tg, owners)
+        assert rep.messages == 0 and rep.bytes == 0
+
+    def test_matches_simulator_exactly(self, grid12_pipeline):
+        """Static accounting must agree with the DES's message counters."""
+        tg = grid12_pipeline[5]
+        for P in (4, 9):
+            cmap = cyclic_map(tg.npanels, square_grid(P))
+            owners = block_owners(tg, cmap)
+            static = communication_volume(tg, owners)
+            dynamic = run_fanout(tg, cmap)
+            assert static.messages == dynamic.comm_messages
+            assert static.bytes == dynamic.comm_bytes
+
+    def test_matches_simulator_with_domains(self, random_spd_pipeline):
+        wm, tg = random_spd_pipeline[4], random_spd_pipeline[5]
+        g = square_grid(4)
+        cmap = cyclic_map(tg.npanels, g)
+        dom = assign_domains(wm, g.P)
+        owners = block_owners(tg, cmap, dom)
+        static = communication_volume(tg, owners)
+        dynamic = run_fanout(tg, cmap, domains=dom)
+        assert static.messages == dynamic.comm_messages
+        assert static.bytes == dynamic.comm_bytes
+
+    def test_cp_fanout_bound(self, grid12_pipeline):
+        """Under a CP map no block is sent to more than Pr + Pc processors."""
+        tg = grid12_pipeline[5]
+        g = ProcessorGrid(3, 3)
+        owners = block_owners(tg, cyclic_map(tg.npanels, g))
+        rep = communication_volume(tg, owners)
+        assert rep.max_fanout <= g.Pr + g.Pc
+
+    def test_more_processors_more_volume(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        v4 = communication_volume(
+            tg, block_owners(tg, cyclic_map(tg.npanels, square_grid(4)))
+        ).bytes
+        v16 = communication_volume(
+            tg, block_owners(tg, cyclic_map(tg.npanels, square_grid(16)))
+        ).bytes
+        assert v16 >= v4

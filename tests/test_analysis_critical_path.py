@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.analysis import critical_path
+from repro.fanout import block_owners, run_fanout, simulate_fanout
+from repro.machine.params import ZERO_COMM, MachineParams
+from repro.mapping import ProcessorGrid, cyclic_map, square_grid
+from repro.matrices import dense_matrix
+from repro.blocks import BlockPartition, BlockStructure, WorkModel
+from repro.fanout import TaskGraph
+from repro.symbolic import symbolic_factor
+
+
+class TestCriticalPath:
+    def test_bounded_by_sequential(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cp = critical_path(tg)
+        assert 0 < cp.length_seconds <= cp.t_sequential
+
+    def test_lower_bounds_any_simulation(self, grid12_pipeline):
+        """No schedule can beat the critical path (zero-comm machine)."""
+        tg = grid12_pipeline[5]
+        cp = critical_path(tg, ZERO_COMM)
+        for P in (4, 9, 16, 100):
+            g = ProcessorGrid(1, P)
+            r = run_fanout(tg, cyclic_map(tg.npanels, g), machine=ZERO_COMM)
+            assert r.t_parallel >= cp.length_seconds - 1e-12
+
+    def test_dense_path_is_panel_chain(self):
+        """For a dense matrix the path includes every panel's BFAC chained
+        through BDIV/BMOD: path grows with N."""
+        p = dense_matrix(48)
+        sf = symbolic_factor(p.A, None)
+        short = critical_path(
+            TaskGraph(WorkModel(BlockStructure(BlockPartition(sf, 24))))
+        )
+        long = critical_path(
+            TaskGraph(WorkModel(BlockStructure(BlockPartition(sf, 8))))
+        )
+        # more panels -> more chained fixed costs, but less per-task time;
+        # both must stay below t_seq
+        assert short.length_seconds <= short.t_sequential
+        assert long.length_seconds <= long.t_sequential
+
+    def test_max_speedup_and_efficiency(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cp = critical_path(tg)
+        assert cp.max_speedup >= 1.0
+        assert cp.max_efficiency(1) <= 1.0
+        assert cp.max_efficiency(10**6) < 0.01

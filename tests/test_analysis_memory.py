@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.analysis import memory_usage
+from repro.fanout import block_owners
+from repro.machine.params import PARAGON
+from repro.mapping import cyclic_map, heuristic_map, square_grid
+
+
+class TestMemoryUsage:
+    def test_owned_totals_conserved(self, grid12_pipeline):
+        """Total owned bytes equals the factor's dense storage regardless of
+        the mapping."""
+        tg = grid12_pipeline[5]
+        total = int(tg.block_words.sum()) * PARAGON.word_bytes
+        for P in (1, 4, 16):
+            owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(P)))
+            rep = memory_usage(tg, owners, P)
+            assert int(rep.owned_bytes.sum()) == total
+
+    def test_single_processor(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = np.zeros(tg.nblocks, dtype=int)
+        rep = memory_usage(tg, owners, 1)
+        assert rep.storage_balance == pytest.approx(1.0)
+        assert int(rep.received_bound_bytes.sum()) == 0
+
+    def test_balance_in_unit_interval(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(9)))
+        rep = memory_usage(tg, owners, 9)
+        assert 0 < rep.storage_balance <= 1
+
+    def test_received_bound_positive_when_distributed(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(9)))
+        rep = memory_usage(tg, owners, 9)
+        assert rep.received_bound_bytes.sum() > 0
+        assert rep.worst_case_bytes >= rep.max_owned
+
+    def test_fits_paragon_node(self, grid12_pipeline):
+        """The tiny test problem obviously fits a 32 MB node."""
+        tg = grid12_pipeline[5]
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(4)))
+        rep = memory_usage(tg, owners, 4)
+        assert rep.fits()
+        assert not rep.fits(node_bytes=1)
+
+    def test_heuristic_mapping_storage_reasonable(self, grid12_pipeline):
+        """Work-balancing must not catastrophically unbalance storage."""
+        wm, tg = grid12_pipeline[4], grid12_pipeline[5]
+        g = square_grid(9)
+        owners = block_owners(tg, heuristic_map(wm, g, "ID", "CY"))
+        rep = memory_usage(tg, owners, 9)
+        assert rep.storage_balance > 0.1

@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.analysis import tree_statistics, work_by_depth
+from repro.matrices import dense_matrix, grid2d_matrix
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+
+
+class TestTreeStatistics:
+    def test_dense_chain(self):
+        p = dense_matrix(20)
+        sf = symbolic_factor(p.A, None)
+        stats = tree_statistics(sf)
+        assert stats.height == 19  # a path
+        assert stats.nleaves == 1
+        assert stats.nsupernodes == 1
+        assert stats.max_supernode == 20
+
+    def test_grid_shallower_than_chain(self, grid12_pipeline):
+        _, sf, *_ = grid12_pipeline
+        stats = tree_statistics(sf)
+        assert stats.height < sf.n - 1
+        assert stats.nleaves > 1
+
+    def test_as_rows(self, grid12_pipeline):
+        _, sf, *_ = grid12_pipeline
+        rows = tree_statistics(sf).as_rows()
+        assert len(rows) == 6
+
+
+class TestWorkByDepth:
+    def test_sums_to_one(self, grid12_pipeline):
+        _, sf, *_ = grid12_pipeline
+        w = work_by_depth(sf)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_deepest_bins_light(self):
+        """Work concentrates at shallow/middle depths (separators), not at
+        the deepest leaves — the ID heuristic's premise."""
+        p = grid2d_matrix(20)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        w = work_by_depth(sf, nbins=4)
+        assert w[-1] < w.max()
+        assert np.argmax(w) < 3

@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.analysis import utilization_profile
+from repro.fanout import block_owners, simulate_fanout
+from repro.mapping import ProcessorGrid, cyclic_map, square_grid
+
+
+class TestUtilizationProfile:
+    def _traced(self, tg, P=9):
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(P)))
+        return simulate_fanout(tg, owners, P, record_trace=True), P
+
+    def test_mean_matches_busy_times(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        res, P = self._traced(tg)
+        prof = utilization_profile(res.trace, P, res.t_parallel)
+        # trace covers compute time only (not send overhead), so the mean
+        # utilization is at most the busy-time ratio
+        busy_ratio = res.busy_times.sum() / (P * res.t_parallel)
+        assert prof.mean_utilization <= busy_ratio + 1e-9
+        assert 0 < prof.mean_utilization <= 1
+
+    def test_fractions_in_range(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        res, P = self._traced(tg)
+        prof = utilization_profile(res.trace, P, res.t_parallel, nbins=20)
+        assert prof.busy_fraction.shape == (20,)
+        assert (prof.busy_fraction >= 0).all()
+        assert (prof.busy_fraction <= 1).all()
+
+    def test_kind_split_sums_to_trace(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        res, P = self._traced(tg)
+        prof = utilization_profile(res.trace, P, res.t_parallel)
+        total = sum(prof.kind_seconds.values())
+        traced = sum(end - start for _, start, end, _, _ in res.trace)
+        assert total == pytest.approx(traced)
+        # BMOD dominates the arithmetic
+        assert prof.kind_seconds["BMOD"] >= prof.kind_seconds["BFAC"]
+
+    def test_single_processor_fully_utilized(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = np.zeros(tg.nblocks, dtype=int)
+        res = simulate_fanout(tg, owners, 1, record_trace=True)
+        prof = utilization_profile(res.trace, 1, res.t_parallel)
+        assert prof.mean_utilization == pytest.approx(1.0, abs=1e-9)
+
+    def test_tail_utilization(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        res, P = self._traced(tg, P=16)
+        prof = utilization_profile(res.trace, 16, res.t_parallel)
+        assert 0 <= prof.tail_utilization() <= 1
+
+    def test_rejects_zero_end(self, grid12_pipeline):
+        with pytest.raises(ValueError):
+            utilization_profile([], 4, 0.0)

@@ -1,0 +1,58 @@
+import numpy as np
+
+from repro.blocks import BlockPartition
+from repro.matrices import dense_matrix, grid2d_matrix
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+import pytest
+
+
+class TestBlockPartition:
+    def test_covers_all_columns(self, grid12_pipeline):
+        _, sf, part, *_ = grid12_pipeline
+        assert part.panel_ptr[0] == 0
+        assert part.panel_ptr[-1] == sf.n
+        assert (np.diff(part.panel_ptr) > 0).all()
+
+    def test_respects_block_size(self, grid12_pipeline):
+        _, _, part, *_ = grid12_pipeline
+        assert part.widths.max() <= part.block_size
+
+    def test_panels_within_supernodes(self, grid12_pipeline):
+        """Column subsets are always subsets of supernodes (paper §3.2)."""
+        _, sf, part, *_ = grid12_pipeline
+        for k in range(part.npanels):
+            s = int(part.panel_snode[k])
+            assert sf.snode_ptr[s] <= part.panel_ptr[k]
+            assert part.panel_ptr[k + 1] <= sf.snode_ptr[s + 1]
+
+    def test_even_split_of_wide_supernode(self):
+        p = dense_matrix(100)  # one supernode of width 100
+        sf = symbolic_factor(p.A, None)
+        part = BlockPartition(sf, 48)
+        # 100 -> 3 panels of widths as close to even as possible
+        assert part.npanels == 3
+        assert sorted(part.widths.tolist()) == [33, 33, 34]
+
+    def test_panel_of_col_inverse(self, grid12_pipeline):
+        _, sf, part, *_ = grid12_pipeline
+        for k in range(part.npanels):
+            cols = np.arange(part.panel_ptr[k], part.panel_ptr[k + 1])
+            assert (part.panel_of_col[cols] == k).all()
+
+    def test_depths_nonincreasing_along_parents(self, grid12_pipeline):
+        """Deeper panels have larger ID-heuristic keys than their ancestors."""
+        _, sf, part, *_ = grid12_pipeline
+        depths = part.panel_depths()
+        assert depths.min() == 0  # a root panel exists
+
+    def test_rejects_bad_block_size(self, grid12_pipeline):
+        _, sf, *_ = grid12_pipeline
+        with pytest.raises(ValueError):
+            BlockPartition(sf, 0)
+
+    def test_block_size_one(self):
+        p = grid2d_matrix(5)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        part = BlockPartition(sf, 1)
+        assert part.npanels == p.n

@@ -1,0 +1,30 @@
+import numpy as np
+import pytest
+
+from repro.fanout import assign_domains, block_owners
+from repro.mapping import ProcessorGrid, cyclic_map, square_grid
+
+
+class TestBlockOwners:
+    def test_matches_map_without_domains(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        g = square_grid(4)
+        cmap = cyclic_map(tg.npanels, g)
+        owners = block_owners(tg, cmap)
+        expect = cmap.owner_array(tg.block_I, tg.block_J)
+        assert np.array_equal(owners, expect)
+
+    def test_domain_columns_overridden(self, grid12_pipeline):
+        wm, tg = grid12_pipeline[4], grid12_pipeline[5]
+        g = square_grid(4)
+        dom = assign_domains(wm, g.P)
+        owners = block_owners(tg, cyclic_map(tg.npanels, g), dom)
+        for b in range(tg.nblocks):
+            j = int(tg.block_J[b])
+            if dom.panel_owner[j] >= 0:
+                assert owners[b] == dom.panel_owner[j]
+
+    def test_rejects_wrong_panel_count(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        with pytest.raises(ValueError):
+            block_owners(tg, cyclic_map(tg.npanels + 1, square_grid(4)))

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.analysis import critical_path
+from repro.fanout import block_owners, simulate_fanout
+from repro.fanout.priorities import (
+    POLICIES,
+    bottom_level_priorities,
+    column_priorities,
+    depth_priorities,
+    task_priorities,
+)
+from repro.fanout.tasks import BDIV, BFAC, BMOD
+from repro.mapping import cyclic_map, square_grid
+
+
+class TestPolicies:
+    def test_column_shape(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        p = column_priorities(tg)
+        assert p.shape == (tg.ntasks,)
+
+    def test_depth_requires_depths(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        with pytest.raises(ValueError):
+            task_priorities(tg, "depth")
+
+    def test_fifo_is_none(self, grid12_pipeline):
+        assert task_priorities(grid12_pipeline[5], "fifo") is None
+
+    def test_unknown_policy(self, grid12_pipeline):
+        with pytest.raises(KeyError):
+            task_priorities(grid12_pipeline[5], "random")
+
+
+class TestBottomLevel:
+    def test_root_bfac_minimal_level(self, grid12_pipeline):
+        """The last panel's BFAC has no successors: its level is its own
+        duration — the smallest bottom level of any BFAC."""
+        tg = grid12_pipeline[5]
+        level = -bottom_level_priorities(tg)
+        fac = np.flatnonzero(tg.task_kind == BFAC)
+        root_fac = fac[np.argmax(tg.block_J[tg.task_block[fac]])]
+        assert level[root_fac] == pytest.approx(level[fac].min())
+
+    def test_levels_decrease_along_chains(self, grid12_pipeline):
+        """A BMOD's level exceeds its destination's factor-task level."""
+        tg = grid12_pipeline[5]
+        level = -bottom_level_priorities(tg)
+        factor_task = np.where(tg.bfac_task >= 0, tg.bfac_task, tg.bdiv_task)
+        mods = np.flatnonzero(tg.task_kind == BMOD)
+        succ = factor_task[tg.task_block[mods]]
+        assert (level[mods] > level[succ] - 1e-15).all()
+
+    def test_max_level_is_critical_path(self, grid12_pipeline):
+        """The largest bottom level equals the DAG critical path computed
+        independently by the analysis module... up to the BDIV/diag
+        dependency, which the analysis includes and levels include too."""
+        tg = grid12_pipeline[5]
+        level = -bottom_level_priorities(tg)
+        cp = critical_path(tg)
+        # bottom levels ignore the BFAC->BDIV *arrival* coupling handled
+        # through max(), so they can only underestimate the true path
+        assert level.max() <= cp.length_seconds + 1e-12
+        assert level.max() > 0.3 * cp.length_seconds
+
+
+class TestSimulationWithPolicies:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_policies_complete(self, grid12_pipeline, policy):
+        part, wm, tg = grid12_pipeline[2], grid12_pipeline[4], grid12_pipeline[5]
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(9)))
+        prio = task_priorities(tg, policy, depth=part.panel_depths())
+        r = simulate_fanout(
+            tg, owners, 9, priorities=prio, record_schedule=True
+        )
+        assert len(r.schedule) == tg.ntasks
+
+    def test_priorities_change_schedule(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(9)))
+        a = simulate_fanout(
+            tg, owners, 9,
+            priorities=task_priorities(tg, "column"),
+            record_schedule=True,
+        )
+        b = simulate_fanout(
+            tg, owners, 9,
+            priorities=task_priorities(tg, "bottom_level"),
+            record_schedule=True,
+        )
+        assert a.schedule != b.schedule or a.t_parallel != b.t_parallel
+
+    def test_rejects_wrong_length(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        owners = block_owners(tg, cyclic_map(tg.npanels, square_grid(4)))
+        with pytest.raises(ValueError):
+            simulate_fanout(tg, owners, 4, priorities=np.zeros(3))

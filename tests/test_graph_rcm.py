@@ -1,0 +1,40 @@
+import numpy as np
+
+from repro.graph import AdjacencyGraph, reverse_cuthill_mckee
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.ordering.base import permute_spd
+from repro.util.arrays import is_permutation
+
+
+def bandwidth(A):
+    coo = A.tocoo()
+    return int(np.abs(coo.row - coo.col).max())
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        p = grid2d_matrix(6)
+        g = AdjacencyGraph.from_sparse(p.A)
+        perm = reverse_cuthill_mckee(g)
+        assert is_permutation(perm)
+
+    def test_reduces_bandwidth_on_shuffled_grid(self):
+        p = grid2d_matrix(10)
+        rng = np.random.default_rng(0)
+        shuffle = rng.permutation(p.n)
+        A = permute_spd(p.A, shuffle)
+        g = AdjacencyGraph.from_sparse(A)
+        perm = reverse_cuthill_mckee(g)
+        assert bandwidth(permute_spd(A, perm)) < bandwidth(A) / 2
+
+    def test_disconnected(self):
+        A = random_spd_sparse(30, density=0.02, seed=2)
+        g = AdjacencyGraph.from_sparse(A)
+        perm = reverse_cuthill_mckee(g)
+        assert is_permutation(perm)
+
+    def test_deterministic(self):
+        p = grid2d_matrix(7)
+        g = AdjacencyGraph.from_sparse(p.A)
+        assert np.array_equal(reverse_cuthill_mckee(g), reverse_cuthill_mckee(g))

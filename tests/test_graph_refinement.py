@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.graph import AdjacencyGraph, vertex_separator_from_levels
+from repro.graph.refinement import refine_separator, separator_is_valid
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.ordering import nested_dissection
+from repro.symbolic import symbolic_factor
+from repro.util.arrays import is_permutation
+
+
+def split(graph):
+    """Separator of the largest connected component."""
+    from repro.graph import connected_components
+
+    comps = connected_components(graph)
+    comp = max(comps, key=lambda c: c.shape[0])
+    return vertex_separator_from_levels(graph, comp)
+
+
+class TestRefineSeparator:
+    def test_output_still_valid(self):
+        A = random_spd_sparse(120, density=0.05, seed=1)
+        g = AdjacencyGraph.from_sparse(A)
+        a, s, b = split(g)
+        ra, rs, rb = refine_separator(g, a, s, b)
+        assert separator_is_valid(g, ra, rb)
+
+    def test_covers_all_vertices(self):
+        A = random_spd_sparse(100, density=0.08, seed=2)
+        g = AdjacencyGraph.from_sparse(A)
+        a, s, b = split(g)
+        ra, rs, rb = refine_separator(g, a, s, b)
+        combined = np.sort(np.concatenate([ra, rs, rb]))
+        original = np.sort(np.concatenate([a, s, b]))
+        assert np.array_equal(combined, original)
+
+    def test_never_grows_separator(self):
+        for seed in (3, 4, 5):
+            A = random_spd_sparse(150, density=0.04, seed=seed)
+            g = AdjacencyGraph.from_sparse(A)
+            a, s, b = split(g)
+            _, rs, _ = refine_separator(g, a, s, b)
+            assert rs.size <= s.size
+
+    def test_grid_separator_near_optimal_untouched(self):
+        """A one-plane grid separator cannot shrink below k-ish."""
+        p = grid2d_matrix(10)
+        g = AdjacencyGraph.from_sparse(p.A)
+        a, s, b = split(g)
+        _, rs, _ = refine_separator(g, a, s, b)
+        assert rs.size <= s.size
+        assert separator_is_valid(
+            g, *(lambda t: (t[0], t[2]))(refine_separator(g, a, s, b))
+        )
+
+
+class TestRefinedNestedDissection:
+    def test_permutation(self):
+        A = random_spd_sparse(200, density=0.03, seed=6)
+        g = AdjacencyGraph.from_sparse(A)
+        assert is_permutation(nested_dissection(g, refine=True))
+
+    def test_fill_not_worse_on_average(self):
+        """Refined ND should not systematically increase fill."""
+        wins = 0
+        for seed in (7, 8, 9):
+            A = random_spd_sparse(160, density=0.04, seed=seed)
+            g = AdjacencyGraph.from_sparse(A)
+            base = symbolic_factor(A, nested_dissection(g)).factor_nnz
+            ref = symbolic_factor(A, nested_dissection(g, refine=True)).factor_nnz
+            wins += ref <= base * 1.05
+        assert wins >= 2

@@ -1,0 +1,81 @@
+import numpy as np
+from scipy import sparse
+
+from repro.graph import AdjacencyGraph, bfs_levels, connected_components, pseudo_peripheral_node
+from repro.matrices import grid2d_matrix
+
+
+def path_graph(n):
+    rows = np.arange(n - 1)
+    A = sparse.coo_matrix((np.ones(n - 1), (rows, rows + 1)), shape=(n, n))
+    return AdjacencyGraph.from_sparse(A + A.T)
+
+
+def two_components(n1, n2):
+    n = n1 + n2
+    rows = np.concatenate([np.arange(n1 - 1), n1 + np.arange(n2 - 1)])
+    cols = rows + 1
+    A = sparse.coo_matrix((np.ones(rows.size), (rows, cols)), shape=(n, n))
+    return AdjacencyGraph.from_sparse(A + A.T)
+
+
+class TestBfsLevels:
+    def test_path_distances(self):
+        g = path_graph(6)
+        lv = bfs_levels(g, 0)
+        assert lv.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable(self):
+        g = two_components(3, 3)
+        lv = bfs_levels(g, 0)
+        assert (lv[3:] == -1).all()
+
+    def test_mask_blocks(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        lv = bfs_levels(g, 0, mask=mask)
+        assert lv[1] == 1
+        assert lv[3] == -1  # blocked by masked-out vertex 2
+
+    def test_grid_distance(self):
+        p = grid2d_matrix(5)
+        g = AdjacencyGraph.from_sparse(p.A)
+        lv = bfs_levels(g, 0)
+        # 9-point stencil: Chebyshev distance
+        assert lv[4 * 5 + 4] == 4
+
+
+class TestConnectedComponents:
+    def test_two(self):
+        g = two_components(4, 3)
+        comps = connected_components(g)
+        sizes = sorted(c.shape[0] for c in comps)
+        assert sizes == [3, 4]
+
+    def test_partition(self):
+        g = two_components(4, 5)
+        comps = connected_components(g)
+        allv = np.sort(np.concatenate(comps))
+        assert allv.tolist() == list(range(9))
+
+    def test_masked(self):
+        g = path_graph(7)
+        mask = np.ones(7, dtype=bool)
+        mask[3] = False
+        comps = connected_components(g, mask=mask)
+        assert sorted(c.shape[0] for c in comps) == [3, 3]
+
+
+class TestPseudoPeripheral:
+    def test_path_ends(self):
+        g = path_graph(9)
+        node, levels = pseudo_peripheral_node(g, 4)
+        assert node in (0, 8)
+        assert levels.max() == 8
+
+    def test_deterministic(self):
+        p = grid2d_matrix(6)
+        g = AdjacencyGraph.from_sparse(p.A)
+        n1, _ = pseudo_peripheral_node(g, 17)
+        n2, _ = pseudo_peripheral_node(g, 17)
+        assert n1 == n2

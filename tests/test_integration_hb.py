@@ -1,0 +1,54 @@
+"""Cross-subsystem integration: a Harwell-Boeing file through the full
+solver facade, the path a user with the real BCSSTK files would take."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import bcsstk_like_matrix
+from repro.matrices.hb import read_harwell_boeing, write_harwell_boeing
+from repro.solver import SparseCholesky
+
+
+@pytest.fixture(scope="module")
+def hb_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("hb") / "bcsstk_like.rsa"
+    problem = bcsstk_like_matrix(240, seed=99)
+    write_harwell_boeing(path, problem.A, title="synthetic bcsstk", key="BK99")
+    return path, problem
+
+
+class TestHBSolverPath:
+    def test_load_factor_solve(self, hb_file):
+        path, problem = hb_file
+        A = read_harwell_boeing(path)
+        chol = SparseCholesky(A, ordering="mmd").factor()
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(A.shape[0])
+        x = chol.solve(b)
+        assert np.max(np.abs(A @ x - b)) < 1e-7
+
+    def test_loaded_matrix_matches_generated(self, hb_file):
+        path, problem = hb_file
+        A = read_harwell_boeing(path)
+        assert abs(A - problem.A).max() < 1e-12
+
+    def test_plan_from_file(self, hb_file):
+        path, _ = hb_file
+        A = read_harwell_boeing(path)
+        chol = SparseCholesky(A, ordering="mmd")
+        plans = chol.compare_mappings(16)
+        assert plans["ID/CY"].mflops > 0
+        assert plans["cyclic"].balance_bound <= 1.0
+
+
+class TestResultJson:
+    def test_experiment_json_round_trip(self):
+        import json
+
+        from repro.experiments.table3 import run
+
+        res = run("small", P=16)
+        payload = json.loads(res.to_json())
+        assert payload["experiment"].startswith("Table 3")
+        assert len(payload["rows"]) == 5
+        assert payload["paper_reference"]["ID"] == [0.99, 0.99, 0.96, 0.81]

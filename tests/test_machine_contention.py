@@ -1,0 +1,51 @@
+import pytest
+
+from repro.fanout import run_fanout
+from repro.machine.params import PARAGON, MachineParams
+from repro.mapping import cyclic_map, square_grid
+
+
+class TestRxContention:
+    def test_params_helpers(self):
+        assert not PARAGON.has_rx_contention
+        assert PARAGON.rx_time(1000) == 0.0
+        m = MachineParams(rx_bandwidth=40e6)
+        assert m.has_rx_contention
+        assert m.rx_time(1000) == pytest.approx((8000 + 64) / 40e6)
+
+    def test_contention_never_faster(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        free = run_fanout(tg, cmap, machine=PARAGON)
+        congested = run_fanout(
+            tg, cmap, machine=MachineParams(rx_bandwidth=40e6)
+        )
+        assert congested.t_parallel >= free.t_parallel - 1e-12
+
+    def test_tight_rx_hurts_more(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        mild = run_fanout(
+            tg, cmap, machine=MachineParams(rx_bandwidth=40e6)
+        ).t_parallel
+        harsh = run_fanout(
+            tg, cmap, machine=MachineParams(rx_bandwidth=4e6)
+        ).t_parallel
+        assert harsh >= mild
+
+    def test_completes_and_deterministic(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        m = MachineParams(rx_bandwidth=10e6)
+        a = run_fanout(tg, cmap, machine=m)
+        b = run_fanout(tg, cmap, machine=m)
+        assert a.t_parallel == b.t_parallel
+
+    def test_infinite_rx_matches_default(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        base = run_fanout(tg, cmap, machine=PARAGON)
+        explicit = run_fanout(
+            tg, cmap, machine=MachineParams(rx_bandwidth=float("inf"))
+        )
+        assert base.t_parallel == pytest.approx(explicit.t_parallel)

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.machine import DiscreteEventSimulator
+
+
+class TestDiscreteEventSimulator:
+    def test_time_order(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append("b"))
+        sim.schedule_at(1.0, lambda: seen.append("a"))
+        sim.schedule_at(3.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_at_equal_times(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        for i in range(5):
+            sim.schedule_at(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_cascading_events(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+
+        def fire(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule_after(1.0, lambda: fire(depth + 1))
+
+        sim.schedule_at(0.0, lambda: fire(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_rejects_past(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule_at(5.0, lambda: sim.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_run_until(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.pending == 1
+
+    def test_events_processed_counter(self):
+        sim = DiscreteEventSimulator()
+        for t in range(4):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

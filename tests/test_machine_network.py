@@ -1,0 +1,73 @@
+import pytest
+
+from repro.fanout import run_fanout
+from repro.machine.network import MeshTopology
+from repro.machine.params import PARAGON, MachineParams
+from repro.mapping import cyclic_map, square_grid
+
+
+class TestMeshTopology:
+    def test_positions_roundtrip(self):
+        mesh = MeshTopology(3, 4)
+        assert mesh.P == 12
+        assert mesh.position(0) == (0, 0)
+        assert mesh.position(11) == (2, 3)
+
+    def test_hops_manhattan(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 15) == 6  # (0,0) -> (3,3)
+        assert mesh.hops(5, 6) == 1
+
+    def test_hops_symmetric(self):
+        mesh = MeshTopology(3, 5)
+        for a in range(0, 15, 4):
+            for b in range(0, 15, 3):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_diameter(self):
+        assert MeshTopology(4, 7).diameter == 9
+
+    def test_for_processors(self):
+        mesh = MeshTopology.for_processors(12)
+        assert mesh.P == 12
+        assert mesh.rows <= mesh.cols
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            MeshTopology(2, 2).position(4)
+
+
+class TestTopologyInSimulation:
+    def test_zero_hop_latency_unchanged(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        base = run_fanout(tg, cmap, machine=PARAGON)
+        with_topo = run_fanout(
+            tg, cmap, machine=PARAGON, topology=MeshTopology.for_processors(9)
+        )
+        assert base.t_parallel == pytest.approx(with_topo.t_parallel)
+
+    def test_hop_latency_slows(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        base = run_fanout(tg, cmap, machine=PARAGON)
+        hoppy = run_fanout(
+            tg, cmap,
+            machine=MachineParams(hop_latency=200e-6),
+            topology=MeshTopology.for_processors(9),
+        )
+        assert hoppy.t_parallel > base.t_parallel
+
+    def test_wormhole_insensitivity(self, grid12_pipeline):
+        """With Paragon-realistic per-hop cost (sub-microsecond), topology
+        barely matters — the paper's flat-machine assumption."""
+        tg = grid12_pipeline[5]
+        cmap = cyclic_map(tg.npanels, square_grid(9))
+        base = run_fanout(tg, cmap, machine=PARAGON)
+        worm = run_fanout(
+            tg, cmap,
+            machine=MachineParams(hop_latency=0.2e-6),
+            topology=MeshTopology.for_processors(9),
+        )
+        assert worm.t_parallel <= base.t_parallel * 1.02

@@ -1,0 +1,37 @@
+import pytest
+
+from repro.machine import PARAGON, MachineParams
+from repro.machine.params import ZERO_COMM
+
+
+class TestMachineParams:
+    def test_paragon_calibration(self):
+        """The paper's §3.1 numbers: 50 us latency, ~40 MB/s bandwidth."""
+        assert PARAGON.latency == pytest.approx(50e-6)
+        assert PARAGON.bandwidth == pytest.approx(40e6)
+        assert PARAGON.flop_rate == pytest.approx(40e6)
+
+    def test_task_time_fixed_cost(self):
+        """A zero-flop task still costs the 1000-op overhead (25 us at
+        40 Mflops) — the work model's surcharge."""
+        assert PARAGON.task_time(0) == pytest.approx(25e-6)
+
+    def test_task_time_linear(self):
+        t1 = PARAGON.task_time(1e6)
+        t2 = PARAGON.task_time(2e6)
+        assert t2 - t1 == pytest.approx(1e6 / PARAGON.flop_rate)
+
+    def test_transfer_time(self):
+        t = PARAGON.transfer_time(1000)  # 8000 bytes + header
+        assert t == pytest.approx(50e-6 + (8000 + 64) / 40e6)
+
+    def test_message_bytes(self):
+        assert PARAGON.message_bytes(10) == 80 + PARAGON.header_bytes
+
+    def test_zero_comm(self):
+        assert ZERO_COMM.transfer_time(1e9) == 0.0
+        assert ZERO_COMM.send_overhead == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PARAGON.latency = 1.0

@@ -1,0 +1,32 @@
+from repro.machine import SimProcessor
+
+
+class TestSimProcessorFifo:
+    def test_fifo_order(self):
+        p = SimProcessor(0)
+        for t in ("a", "b", "c"):
+            p.push(t)
+        assert [p.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_has_work(self):
+        p = SimProcessor(0)
+        assert not p.has_work()
+        p.push("x")
+        assert p.has_work()
+        p.pop()
+        assert not p.has_work()
+
+
+class TestSimProcessorPriority:
+    def test_priority_order(self):
+        p = SimProcessor(0, priority_mode=True)
+        p.push("low", priority=10.0)
+        p.push("high", priority=1.0)
+        p.push("mid", priority=5.0)
+        assert [p.pop() for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_stable_at_equal_priority(self):
+        p = SimProcessor(0, priority_mode=True)
+        p.push("first", priority=1.0)
+        p.push("second", priority=1.0)
+        assert p.pop() == "first"

@@ -1,0 +1,44 @@
+import numpy as np
+
+from repro.mapping import (
+    balance_metrics,
+    heuristic_map,
+    processor_aware_row_map,
+    square_grid,
+)
+
+
+class TestProcessorAwareRowMap:
+    def test_valid_cartesian_map(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        g = square_grid(9)
+        m = processor_aware_row_map(wm, g)
+        assert m.mapI.shape == (wm.npanels,)
+        assert m.mapI.max() < g.Pr and m.mapI.min() >= 0
+
+    def test_cyclic_columns_by_default(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        g = square_grid(9)
+        m = processor_aware_row_map(wm, g, "CY")
+        assert np.array_equal(m.mapJ, np.arange(wm.npanels) % g.Pc)
+
+    def test_balance_at_least_basic_heuristic(self, grid12_pipeline):
+        """§4.2: the processor-aware variant improves (or matches) the
+        overall balance of the aggregate-row heuristic."""
+        wm = grid12_pipeline[4]
+        g = square_grid(9)
+        basic = balance_metrics(wm, heuristic_map(wm, g, "DW", "CY")).overall
+        alt = balance_metrics(wm, processor_aware_row_map(wm, g, "CY", "DW")).overall
+        assert alt >= basic * 0.95  # allow tiny regressions on tiny problems
+
+    def test_deterministic(self, random_spd_pipeline):
+        wm = random_spd_pipeline[4]
+        g = square_grid(4)
+        a = processor_aware_row_map(wm, g).mapI
+        b = processor_aware_row_map(wm, g).mapI
+        assert np.array_equal(a, b)
+
+    def test_label(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        m = processor_aware_row_map(wm, square_grid(4), "CY", "DW")
+        assert "procaware" in m.name

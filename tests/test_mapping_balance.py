@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.fanout import block_owners
+from repro.mapping import (
+    ProcessorGrid,
+    balance_metrics,
+    cyclic_map,
+    heuristic_map,
+    square_grid,
+)
+from repro.mapping.balance import overall_balance_from_owners
+from repro.mapping.heuristics import HEURISTICS
+
+
+class TestBalanceMetrics:
+    def test_bounds(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        bal = balance_metrics(wm, cyclic_map(wm.npanels, square_grid(9)))
+        for v in (bal.overall, bal.row, bal.column, bal.diagonal):
+            assert 0 < v <= 1
+
+    def test_overall_below_decomposed(self, grid12_pipeline):
+        """overall <= row, column, diagonal balance — they average within
+        processor rows/columns/diagonals, overall does not."""
+        wm = grid12_pipeline[4]
+        for h in HEURISTICS:
+            cmap = heuristic_map(wm, square_grid(9), h, h)
+            bal = balance_metrics(wm, cmap)
+            assert bal.overall <= bal.row + 1e-12
+            assert bal.overall <= bal.column + 1e-12
+            assert bal.overall <= bal.diagonal + 1e-12
+
+    def test_single_processor_perfect(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        bal = balance_metrics(wm, cyclic_map(wm.npanels, ProcessorGrid(1, 1)))
+        assert bal.overall == pytest.approx(1.0)
+
+    def test_diag_none_on_rectangular(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        bal = balance_metrics(wm, cyclic_map(wm.npanels, ProcessorGrid(2, 3)))
+        assert bal.diagonal is None
+
+    def test_heuristics_beat_cyclic_overall(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        g = square_grid(9)
+        cyc = balance_metrics(wm, cyclic_map(wm.npanels, g)).overall
+        best = max(
+            balance_metrics(wm, heuristic_map(wm, g, rh, ch)).overall
+            for rh in ("DW", "DN", "ID")
+            for ch in ("CY", "DW")
+        )
+        assert best > cyc
+
+    def test_as_row(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        bal = balance_metrics(wm, cyclic_map(wm.npanels, square_grid(4)))
+        row = bal.as_row()
+        assert row == (bal.row, bal.column, bal.diagonal, bal.overall)
+
+
+class TestOwnersBalance:
+    def test_matches_cartesian_when_no_domains(self, grid12_pipeline):
+        wm, tg = grid12_pipeline[4], grid12_pipeline[5]
+        g = square_grid(9)
+        cmap = cyclic_map(wm.npanels, g)
+        owners = block_owners(tg, cmap)
+        a = overall_balance_from_owners(wm, owners, g.P)
+        b = balance_metrics(wm, cmap).overall
+        assert a == pytest.approx(b)

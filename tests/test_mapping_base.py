@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.mapping import CartesianMap, ProcessorGrid, cyclic_map
+
+
+class TestCartesianMap:
+    def test_owner_matches_owner_array(self):
+        g = ProcessorGrid(3, 4)
+        rng = np.random.default_rng(0)
+        m = CartesianMap(g, rng.integers(0, 3, 20), rng.integers(0, 4, 20))
+        I = rng.integers(0, 20, 50)
+        J = rng.integers(0, 20, 50)
+        arr = m.owner_array(I, J)
+        for i, j, o in zip(I, J, arr):
+            assert m.owner(int(i), int(j)) == o
+
+    def test_rejects_out_of_range(self):
+        g = ProcessorGrid(2, 2)
+        with pytest.raises(ValueError):
+            CartesianMap(g, np.array([0, 2]), np.array([0, 1]))
+
+    def test_rejects_length_mismatch(self):
+        g = ProcessorGrid(2, 2)
+        with pytest.raises(ValueError):
+            CartesianMap(g, np.array([0, 1]), np.array([0]))
+
+    def test_sc_detection(self):
+        g = ProcessorGrid(2, 2)
+        idx = np.arange(6) % 2
+        assert CartesianMap(g, idx, idx).is_symmetric_cartesian
+        assert not CartesianMap(g, idx, (idx + 1) % 2).is_symmetric_cartesian
+        gr = ProcessorGrid(2, 3)
+        assert not CartesianMap(
+            gr, np.arange(6) % 2, np.arange(6) % 3
+        ).is_symmetric_cartesian
+
+    def test_cp_communication_bound(self):
+        """Blocks of row I and column I map into one processor row plus one
+        processor column: at most Pr + Pc distinct processors (§2.4)."""
+        g = ProcessorGrid(4, 4)
+        rng = np.random.default_rng(1)
+        N = 30
+        m = CartesianMap(g, rng.integers(0, 4, N), rng.integers(0, 4, N))
+        for I in range(0, N, 5):
+            dests = set()
+            for J in range(N):
+                dests.add(m.owner(I, J))  # row I destinations
+                dests.add(m.owner(J, I))  # column I destinations
+            assert len(dests) <= g.Pr + g.Pc

@@ -1,0 +1,37 @@
+import numpy as np
+import pytest
+
+from repro.mapping import balance_metrics, cyclic_map, square_grid
+from repro.mapping.block_cyclic import block_cyclic_map
+
+
+class TestBlockCyclicMap:
+    def test_factor_one_is_cyclic(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        g = square_grid(9)
+        bc = block_cyclic_map(tg.npanels, g, 1)
+        cy = cyclic_map(tg.npanels, g)
+        assert np.array_equal(bc.mapI, cy.mapI)
+        assert np.array_equal(bc.mapJ, cy.mapJ)
+
+    def test_definition(self):
+        g = square_grid(4)
+        m = block_cyclic_map(12, g, row_factor=3, col_factor=2)
+        assert m.mapI.tolist() == [(i // 3) % 2 for i in range(12)]
+        assert m.mapJ.tolist() == [(j // 2) % 2 for j in range(12)]
+
+    def test_larger_factor_not_better_balanced(self, grid12_pipeline):
+        """Coarser wrapping can only concentrate work further."""
+        wm = grid12_pipeline[4]
+        g = square_grid(9)
+        fine = balance_metrics(wm, block_cyclic_map(wm.npanels, g, 1)).overall
+        coarse = balance_metrics(
+            wm, block_cyclic_map(wm.npanels, g, 4)
+        ).overall
+        assert coarse <= fine * 1.25  # rarely better, never dramatically
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            block_cyclic_map(5, square_grid(4), 0)
+        with pytest.raises(ValueError):
+            block_cyclic_map(5, square_grid(4), 1, 0)

@@ -1,0 +1,32 @@
+import numpy as np
+
+from repro.mapping import ProcessorGrid, cyclic_map, square_grid
+
+
+class TestCyclicMap:
+    def test_definition(self):
+        g = ProcessorGrid(3, 4)
+        m = cyclic_map(24, g)
+        for I in range(24):
+            for J in range(0, 24, 5):
+                assert m.owner(I, J) == g.rank(I % 3, J % 4)
+
+    def test_is_sc_on_square_grid(self):
+        m = cyclic_map(20, square_grid(16))
+        assert m.is_symmetric_cartesian
+
+    def test_diagonal_concentration_square(self):
+        """On a square grid, diagonal blocks land only on diagonal procs."""
+        g = square_grid(16)
+        m = cyclic_map(40, g)
+        owners = {m.owner(I, I) for I in range(40)}
+        diag_procs = {g.rank(i, i) for i in range(4)}
+        assert owners <= diag_procs
+
+    def test_diagonal_scatter_prime_grid(self):
+        """On a relatively-prime grid the diagonal visits every processor
+        (the §4.2 observation)."""
+        g = ProcessorGrid(3, 4)
+        m = cyclic_map(12 * 4, g)
+        owners = {m.owner(I, I) for I in range(48)}
+        assert len(owners) == g.P

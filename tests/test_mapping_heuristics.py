@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.mapping import ProcessorGrid, heuristic_map, square_grid
+from repro.mapping.heuristics import (
+    HEURISTICS,
+    _consider_order,
+    greedy_partition,
+    heuristic_vector,
+)
+
+
+class TestGreedyPartition:
+    def test_balances_equal_items(self):
+        work = np.ones(12)
+        a = greedy_partition(work, np.arange(12), 4)
+        loads = np.bincount(a, weights=work, minlength=4)
+        assert (loads == 3).all()
+
+    def test_lpt_classic(self):
+        """Decreasing-order greedy on {7,6,5,4,3,2,1} over 2 bins: max 14."""
+        work = np.array([7, 6, 5, 4, 3, 2, 1], dtype=float)
+        order = np.argsort(-work)
+        a = greedy_partition(work, order, 2)
+        loads = np.bincount(a, weights=work, minlength=2)
+        assert loads.max() == 14
+
+    def test_deterministic_tie_break(self):
+        work = np.ones(6)
+        a = greedy_partition(work, np.arange(6), 3)
+        b = greedy_partition(work, np.arange(6), 3)
+        assert np.array_equal(a, b)
+
+
+class TestConsiderOrder:
+    def test_dw(self):
+        w = np.array([3.0, 9.0, 1.0])
+        assert _consider_order("DW", w, None).tolist() == [1, 0, 2]
+
+    def test_in_dn(self):
+        w = np.zeros(4)
+        assert _consider_order("IN", w, None).tolist() == [0, 1, 2, 3]
+        assert _consider_order("DN", w, None).tolist() == [3, 2, 1, 0]
+
+    def test_id_requires_depth(self):
+        with pytest.raises(ValueError):
+            _consider_order("ID", np.ones(3), None)
+
+    def test_id_sorts_by_depth(self):
+        depth = np.array([2, 0, 1])
+        assert _consider_order("ID", np.ones(3), depth).tolist() == [1, 2, 0]
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            _consider_order("XX", np.ones(2), None)
+
+
+class TestHeuristicVector:
+    def test_cy_is_cyclic(self):
+        v = heuristic_vector("CY", np.ones(10), 4)
+        assert v.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_range(self):
+        for h in HEURISTICS:
+            v = heuristic_vector(h, np.arange(20, dtype=float), 5,
+                                 depth=np.arange(20))
+            assert v.min() >= 0 and v.max() < 5
+
+
+class TestPartitionLowerBound:
+    def test_trivial_bounds(self):
+        from repro.mapping.heuristics import partition_lower_bound
+
+        assert partition_lower_bound(np.array([3.0, 3.0]), 2) == 3.0
+        assert partition_lower_bound(np.array([10.0, 1.0]), 2) == 10.0
+        assert partition_lower_bound(np.empty(0), 4) == 0.0
+
+    def test_greedy_respects_bound(self, grid12_pipeline):
+        from repro.mapping.heuristics import (
+            greedy_partition,
+            partition_lower_bound,
+        )
+
+        wm = grid12_pipeline[4]
+        w = wm.workI.astype(float)
+        bound = partition_lower_bound(w, 3)
+        assign = greedy_partition(w, np.argsort(-w), 3)
+        loads = np.bincount(assign, weights=w, minlength=3)
+        assert loads.max() >= bound - 1e-9
+        # Greedy guarantee: max load <= mean + max item <= 2 * bound.
+        assert loads.max() <= 2 * bound + 1e-9
+
+
+class TestHeuristicMap:
+    def test_improves_row_balance(self, grid12_pipeline):
+        from repro.mapping import balance_metrics, cyclic_map
+
+        wm = grid12_pipeline[4]
+        g = square_grid(9)
+        cyc = balance_metrics(wm, cyclic_map(wm.npanels, g))
+        for h in ("DW", "DN", "ID"):
+            bal = balance_metrics(wm, heuristic_map(wm, g, h, "CY"))
+            assert bal.row >= cyc.row
+
+    def test_breaks_symmetry(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        m = heuristic_map(wm, square_grid(9), "DW", "DW")
+        # DW applied to workI and workJ independently rarely coincides
+        assert not m.is_symmetric_cartesian or np.array_equal(m.mapI, m.mapJ)
+
+    def test_label(self, grid12_pipeline):
+        wm = grid12_pipeline[4]
+        m = heuristic_map(wm, square_grid(4), "ID", "CY")
+        assert m.name == "ID/CY"

@@ -1,0 +1,80 @@
+import numpy as np
+from scipy import sparse
+
+from repro.matrices import cube3d_matrix, dense_matrix, grid2d_matrix
+from repro.matrices.spd import is_symmetric_pattern
+
+
+def is_spd(A, n_probe=4):
+    """Cheap SPD check: symmetric + positive smallest eigenvalue estimate."""
+    if not is_symmetric_pattern(A, tol=1e-12):
+        return False
+    vals = np.linalg.eigvalsh(A.toarray())
+    return vals.min() > 0
+
+
+class TestDense:
+    def test_shape_and_density(self):
+        p = dense_matrix(32)
+        assert p.n == 32
+        assert p.nnz == 32 * 32
+
+    def test_spd(self):
+        assert is_spd(dense_matrix(24).A)
+
+    def test_deterministic(self):
+        a = dense_matrix(16, seed=3).A.toarray()
+        b = dense_matrix(16, seed=3).A.toarray()
+        assert np.array_equal(a, b)
+
+    def test_name(self):
+        assert dense_matrix(16).name == "DENSE16"
+        assert dense_matrix(16, name="X").name == "X"
+
+
+class TestGrid2D:
+    def test_size(self):
+        p = grid2d_matrix(7)
+        assert p.n == 49
+        assert p.coords.shape == (49, 2)
+
+    def test_interior_stencil_9pt(self):
+        p = grid2d_matrix(5)
+        A = p.A.tocsr()
+        # interior vertex (2,2) has 8 neighbours + diagonal
+        v = 2 * 5 + 2
+        assert A.indptr[v + 1] - A.indptr[v] == 9
+
+    def test_corner_stencil(self):
+        p = grid2d_matrix(5)
+        A = p.A.tocsr()
+        assert A.indptr[1] - A.indptr[0] == 4  # corner: 3 nbrs + diag
+
+    def test_spd(self):
+        assert is_spd(grid2d_matrix(6).A)
+
+    def test_recommended_ordering(self):
+        assert grid2d_matrix(4).recommended_ordering == "nd"
+
+
+class TestCube3D:
+    def test_size(self):
+        p = cube3d_matrix(4)
+        assert p.n == 64
+        assert p.coords.shape == (64, 3)
+
+    def test_interior_stencil_27pt(self):
+        p = cube3d_matrix(5)
+        A = p.A.tocsr()
+        v = (2 * 5 + 2) * 5 + 2
+        assert A.indptr[v + 1] - A.indptr[v] == 27
+
+    def test_spd(self):
+        assert is_spd(cube3d_matrix(4).A)
+
+    def test_coords_match_adjacency(self):
+        p = cube3d_matrix(3)
+        A = p.A.tocoo()
+        # all couplings are between vertices at Chebyshev distance <= 1
+        d = np.abs(p.coords[A.row] - p.coords[A.col]).max(axis=1)
+        assert d.max() <= 1

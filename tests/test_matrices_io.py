@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.matrices import read_matrix_market, write_matrix_market
+from repro.matrices.spd import random_spd_sparse
+
+
+class TestRoundTrip:
+    def test_symmetric_roundtrip(self, tmp_path):
+        A = random_spd_sparse(25, density=0.15, seed=0)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, A, symmetric=True)
+        B = read_matrix_market(path)
+        assert abs(A - B).max() < 1e-14
+
+    def test_general_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        A = sparse.random(10, 10, density=0.3, random_state=1).tocsc()
+        path = tmp_path / "g.mtx"
+        write_matrix_market(path, A, symmetric=False)
+        B = read_matrix_market(path)
+        assert abs(A - B).max() < 1e-14
+
+
+class TestReader:
+    def test_pattern_file(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n1 1\n2 1\n3 3\n"
+        )
+        A = read_matrix_market(path)
+        assert A[0, 0] == 1 and A[1, 0] == 1 and A[0, 1] == 1 and A[2, 2] == 1
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "2 2 1\n2 1 5.0\n"
+        )
+        A = read_matrix_market(path)
+        assert A[1, 0] == 5.0
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n1 1 0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_unsupported_format(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.matrices import get_problem, problem_names
+from repro.matrices.registry import LARGE_SUITE, REGISTRY, TABLE7_SUITE
+
+
+class TestSuites:
+    def test_table1_has_ten(self):
+        assert len(problem_names("table1")) == 10
+
+    def test_table6_has_four(self):
+        assert len(problem_names("table6")) == 4
+
+    def test_table7_members(self):
+        assert set(TABLE7_SUITE) <= set(problem_names("all"))
+        assert len(TABLE7_SUITE) == 6
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            problem_names("nope")
+
+
+class TestGetProblem:
+    def test_small_scale_sizes(self):
+        p = get_problem("GRID150", "small")
+        assert p.n == 16 * 16
+
+    def test_paper_stats_attached(self):
+        p = get_problem("BCSSTK15", "small")
+        stats = p.meta["paper_stats"]
+        assert stats.equations == 3948
+        assert stats.factor_ops_millions == pytest.approx(165.0)
+
+    def test_unknown_problem(self):
+        with pytest.raises(KeyError):
+            get_problem("NOSUCH", "small")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_problem("GRID150", "huge")
+
+    def test_all_small_problems_build(self):
+        for name in problem_names("all"):
+            p = get_problem(name, "small")
+            assert p.n > 0
+            assert p.A.shape == (p.n, p.n)
+
+    def test_dense_paper_scale_matches_table(self):
+        p = get_problem("DENSE1024", "paper")
+        assert p.n == 1024

@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.matrices.spd import is_symmetric_pattern, make_spd, random_spd_sparse
+
+
+class TestIsSymmetricPattern:
+    def test_symmetric(self):
+        A = sparse.csr_matrix(np.array([[2.0, 1.0], [1.0, 3.0]]))
+        assert is_symmetric_pattern(A)
+
+    def test_asymmetric(self):
+        A = sparse.csr_matrix(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        assert not is_symmetric_pattern(A)
+
+    def test_tolerance(self):
+        A = sparse.csr_matrix(np.array([[2.0, 1.0], [1.0 + 1e-12, 3.0]]))
+        assert is_symmetric_pattern(A, tol=1e-10)
+
+
+class TestMakeSpd:
+    def test_diagonally_dominant(self):
+        rng = np.random.default_rng(0)
+        M = sparse.random(30, 30, density=0.2, random_state=0)
+        A = make_spd(M, shift=0.5)
+        d = A.diagonal()
+        off = np.asarray(np.abs(A).sum(axis=1)).ravel() - np.abs(d)
+        assert (d > off).all()
+
+    def test_positive_definite(self):
+        M = sparse.random(25, 25, density=0.3, random_state=1)
+        A = make_spd(M)
+        vals = np.linalg.eigvalsh(A.toarray())
+        assert vals.min() > 0
+
+    def test_preserves_offdiag_pattern(self):
+        M = sparse.random(20, 20, density=0.2, random_state=2)
+        A = make_spd(M)
+        S = ((M + M.T) * 0.5).tolil()
+        S.setdiag(0)
+        expected = (S.tocsr() != 0).astype(int)
+        got = A.tolil()
+        got.setdiag(0)
+        got = (got.tocsr() != 0).astype(int)
+        assert (expected != got).nnz == 0
+
+
+class TestRandomSpdSparse:
+    def test_spd(self):
+        A = random_spd_sparse(40, density=0.1, seed=3)
+        assert np.linalg.eigvalsh(A.toarray()).min() > 0
+
+    def test_symmetric(self):
+        A = random_spd_sparse(40, density=0.1, seed=4)
+        assert is_symmetric_pattern(A, tol=1e-12)
+
+    def test_density_scales(self):
+        lo = random_spd_sparse(60, density=0.01, seed=5).nnz
+        hi = random_spd_sparse(60, density=0.2, seed=5).nnz
+        assert hi > lo

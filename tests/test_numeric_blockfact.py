@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.blocks import BlockPartition, BlockStructure
+from repro.matrices import dense_matrix, grid2d_matrix
+from repro.numeric import BlockCholesky
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+
+
+def factor_and_check(A, sf, B):
+    part = BlockPartition(sf, B)
+    bs = BlockStructure(part)
+    bc = BlockCholesky(bs, sf.A).factor()
+    L = bc.to_csc()
+    resid = abs(L @ L.T - sf.A).max()
+    return bc, L, resid
+
+
+class TestBlockCholesky:
+    def test_grid_nd(self, grid12_pipeline):
+        problem, sf, part, bs, *_ = grid12_pipeline
+        bc = BlockCholesky(bs, sf.A).factor()
+        L = bc.to_csc()
+        assert abs(L @ L.T - sf.A).max() < 1e-10
+
+    def test_dense(self):
+        p = dense_matrix(40)
+        sf = symbolic_factor(p.A, None)
+        _, L, resid = factor_and_check(p.A, sf, 12)
+        assert resid < 1e-8 * abs(sf.A).max()
+
+    def test_random_mmd(self, random_spd_pipeline):
+        problem, sf, part, bs, *_ = random_spd_pipeline
+        bc = BlockCholesky(bs, sf.A).factor()
+        L = bc.to_csc()
+        assert abs(L @ L.T - sf.A).max() < 1e-10
+
+    def test_matches_dense_cholesky_values(self, grid12_pipeline):
+        _, sf, _, bs, *_ = grid12_pipeline
+        L = BlockCholesky(bs, sf.A).factor().to_csc().toarray()
+        L_ref = np.linalg.cholesky(sf.A.toarray())
+        assert np.allclose(np.tril(L), L_ref, atol=1e-10)
+
+    def test_various_block_sizes(self):
+        p = grid2d_matrix(9)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        for B in (1, 3, 5, 100):
+            _, _, resid = factor_and_check(p.A, sf, B)
+            assert resid < 1e-10, f"B={B}"
+
+    def test_bdiv_before_bfac_rejected(self, grid12_pipeline):
+        _, sf, _, bs, *_ = grid12_pipeline
+        bc = BlockCholesky(bs, sf.A)
+        k = 0
+        brows = bs.block_rows[k]
+        if brows.size:
+            with pytest.raises(RuntimeError):
+                bc.bdiv(int(brows[0]), k)
+
+    def test_flop_counter_increases(self, grid12_pipeline):
+        _, sf, _, bs, *_ = grid12_pipeline
+        bc = BlockCholesky(bs, sf.A)
+        assert bc.flops == 0
+        bc.factor()
+        assert bc.flops > 0

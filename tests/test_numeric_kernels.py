@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.numeric import bdiv_kernel, bfac_kernel, bmod_kernel
+
+
+def spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    B = rng.standard_normal((n, n))
+    return B @ B.T + n * np.eye(n)
+
+
+class TestBfac:
+    def test_matches_numpy(self):
+        D = spd(8)
+        L, flops = bfac_kernel(D)
+        assert np.allclose(L, np.linalg.cholesky(D))
+        assert flops > 0
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            bfac_kernel(-np.eye(3))
+
+
+class TestBdiv:
+    def test_triangular_solve(self):
+        rng = np.random.default_rng(1)
+        L = np.linalg.cholesky(spd(6, 1))
+        B = rng.standard_normal((4, 6))
+        X, flops = bdiv_kernel(B, L)
+        assert np.allclose(X @ L.T, B)
+        assert flops == 4 * 36
+
+
+class TestBmod:
+    def test_outer_product(self):
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((3, 5))
+        B = rng.standard_normal((2, 5))
+        U, flops = bmod_kernel(A, B)
+        assert np.allclose(U, A @ B.T)
+        assert flops == 2 * 3 * 2 * 5
+
+
+class TestComposition:
+    def test_one_step_block_elimination(self):
+        """BFAC+BDIV+BMOD on a 2x2 block matrix reproduce dense Cholesky."""
+        n, w = 10, 4
+        A = spd(n, 3)
+        L_ref = np.linalg.cholesky(A)
+        D = A[:w, :w].copy()
+        B = A[w:, :w].copy()
+        C = A[w:, w:].copy()
+        Lkk, _ = bfac_kernel(D)
+        Lik, _ = bdiv_kernel(B, Lkk)
+        U, _ = bmod_kernel(Lik, Lik)
+        L22 = np.linalg.cholesky(C - U)
+        assert np.allclose(Lkk, L_ref[:w, :w])
+        assert np.allclose(Lik, L_ref[w:, :w])
+        assert np.allclose(L22, L_ref[w:, w:])

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.blocks import BlockPartition, BlockStructure, WorkModel
+from repro.fanout import TaskGraph
+from repro.matrices import cube3d_matrix, grid2d_matrix
+from repro.numeric import BlockCholesky
+from repro.numeric.parallel import parallel_block_cholesky
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+
+
+class TestParallelBlockCholesky:
+    def test_reconstructs_grid(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = parallel_block_cholesky(bs, sf.A, tg, nthreads=4)
+        L = res.to_csc()
+        assert abs(L @ L.T - sf.A).max() < 1e-10
+        assert res.tasks_executed == tg.ntasks
+
+    def test_single_thread_matches_sequential(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        par = parallel_block_cholesky(bs, sf.A, tg, nthreads=1).to_csc()
+        seq = BlockCholesky(bs, sf.A).factor().to_csc()
+        assert abs(par - seq).max() < 1e-12
+
+    def test_many_threads_deterministic_result(self, grid12_pipeline):
+        """Floating-point result is identical regardless of thread count:
+        every BMOD is an exact subtraction into a locked block and the set
+        of operations is fixed... note additions into one block may reorder,
+        so allow rounding-level differences only."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        a = parallel_block_cholesky(bs, sf.A, tg, nthreads=2).to_csc()
+        b = parallel_block_cholesky(bs, sf.A, tg, nthreads=8).to_csc()
+        assert abs(a - b).max() < 1e-9
+
+    def test_random_problem(self, random_spd_pipeline):
+        _, sf, _, bs, wm, tg = random_spd_pipeline
+        L = parallel_block_cholesky(bs, sf.A, tg, nthreads=4).to_csc()
+        assert abs(L @ L.T - sf.A).max() < 1e-9
+
+    def test_larger_mesh(self):
+        p = cube3d_matrix(7)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        bs = BlockStructure(BlockPartition(sf, 16))
+        tg = TaskGraph(WorkModel(bs))
+        L = parallel_block_cholesky(bs, sf.A, tg, nthreads=4).to_csc()
+        assert abs(L @ L.T - sf.A).max() < 1e-8
+
+    def test_rejects_zero_threads(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        with pytest.raises(ValueError):
+            parallel_block_cholesky(bs, sf.A, tg, nthreads=0)
+
+    def test_indefinite_matrix_raises(self):
+        """A numeric failure in a worker must propagate, not deadlock."""
+        from scipy import sparse
+
+        p = grid2d_matrix(8)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        bs = BlockStructure(BlockPartition(sf, 8))
+        tg = TaskGraph(WorkModel(bs))
+        bad = (sf.A - sparse.eye(sf.n) * 1e6).tocsc()  # indefinite
+        with pytest.raises(np.linalg.LinAlgError):
+            parallel_block_cholesky(bs, bad, tg, nthreads=4)

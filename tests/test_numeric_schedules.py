@@ -1,0 +1,50 @@
+import numpy as np
+
+from repro.numeric import BlockCholesky
+from repro.numeric.schedules import leftlooking_schedule, rightlooking_schedule
+
+
+class TestSchedules:
+    def test_both_are_permutations_of_tasks(self, grid12_pipeline):
+        tg = grid12_pipeline[5]
+        for sched in (rightlooking_schedule(tg), leftlooking_schedule(tg)):
+            assert sorted(sched.tolist()) == list(range(tg.ntasks))
+
+    def test_rightlooking_factorizes(self, grid12_pipeline):
+        _, sf, _, bs, _, tg = grid12_pipeline
+        L = (
+            BlockCholesky(bs, sf.A)
+            .run_schedule(tg, rightlooking_schedule(tg).tolist())
+            .to_csc()
+        )
+        assert abs(L @ L.T - sf.A).max() < 1e-10
+
+    def test_leftlooking_factorizes(self, grid12_pipeline):
+        _, sf, _, bs, _, tg = grid12_pipeline
+        L = (
+            BlockCholesky(bs, sf.A)
+            .run_schedule(tg, leftlooking_schedule(tg).tolist())
+            .to_csc()
+        )
+        assert abs(L @ L.T - sf.A).max() < 1e-10
+
+    def test_same_arithmetic_both_directions(self, grid12_pipeline):
+        """Left- and right-looking execute the identical operation set."""
+        _, sf, _, bs, _, tg = grid12_pipeline
+        right = BlockCholesky(bs, sf.A).run_schedule(
+            tg, rightlooking_schedule(tg).tolist()
+        )
+        left = BlockCholesky(bs, sf.A).run_schedule(
+            tg, leftlooking_schedule(tg).tolist()
+        )
+        assert right.flops == left.flops
+        assert abs(right.to_csc() - left.to_csc()).max() < 1e-12
+
+    def test_random_matrix(self, random_spd_pipeline):
+        _, sf, _, bs, _, tg = random_spd_pipeline
+        L = (
+            BlockCholesky(bs, sf.A)
+            .run_schedule(tg, leftlooking_schedule(tg).tolist())
+            .to_csc()
+        )
+        assert abs(L @ L.T - sf.A).max() < 1e-10

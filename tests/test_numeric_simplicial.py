@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.numeric import simplicial_cholesky
+from repro.symbolic import symbolic_factor
+
+
+class TestSimplicialCholesky:
+    def test_reconstructs_grid(self):
+        p = grid2d_matrix(7)
+        L = simplicial_cholesky(p.A)
+        assert abs(L @ L.T - p.A).max() < 1e-10
+
+    def test_reconstructs_random(self):
+        A = random_spd_sparse(60, density=0.08, seed=0)
+        L = simplicial_cholesky(A)
+        assert abs(L @ L.T - A).max() < 1e-10
+
+    def test_matches_dense(self):
+        A = random_spd_sparse(30, density=0.15, seed=1)
+        L = simplicial_cholesky(A).toarray()
+        assert np.allclose(L, np.linalg.cholesky(A.toarray()), atol=1e-10)
+
+    def test_nnz_matches_symbolic_prediction(self):
+        """The factor's structural nnz equals the column-count prediction."""
+        A = random_spd_sparse(50, density=0.1, seed=2)
+        sf = symbolic_factor(A, None)
+        L = simplicial_cholesky(sf.A)
+        assert L.nnz == sf.factor_nnz
+
+    def test_rejects_indefinite(self):
+        A = sparse.eye(4).tocsc() * -1.0
+        with pytest.raises(np.linalg.LinAlgError):
+            simplicial_cholesky(A)
+
+    def test_diagonal_matrix(self):
+        A = sparse.diags([4.0, 9.0, 16.0]).tocsc()
+        L = simplicial_cholesky(A)
+        assert np.allclose(L.diagonal(), [2, 3, 4])

@@ -1,0 +1,41 @@
+import numpy as np
+
+from repro.blocks import BlockPartition, BlockStructure
+from repro.matrices import grid2d_matrix
+from repro.numeric import BlockCholesky, solve_with_factor
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+
+
+class TestSolveWithFactor:
+    def test_end_to_end_with_permutation(self, grid12_pipeline):
+        problem, sf, _, bs, *_ = grid12_pipeline
+        L = BlockCholesky(bs, sf.A).factor().to_csc()
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(problem.n)
+        x = solve_with_factor(L, b, sf.ordering)
+        assert np.max(np.abs(problem.A @ x - b)) < 1e-8
+
+    def test_identity_ordering(self):
+        p = grid2d_matrix(6)
+        sf = symbolic_factor(p.A, None)
+        bs = BlockStructure(BlockPartition(sf, 8))
+        L = BlockCholesky(bs, sf.A).factor().to_csc()
+        b = np.ones(p.n)
+        x = solve_with_factor(L, b, sf.ordering)
+        assert np.max(np.abs(p.A @ x - b)) < 1e-8
+
+    def test_multiple_rhs(self, grid12_pipeline):
+        problem, sf, _, bs, *_ = grid12_pipeline
+        L = BlockCholesky(bs, sf.A).factor().to_csc()
+        B = np.eye(problem.n)[:, :3]
+        X = solve_with_factor(L, B, sf.ordering)
+        assert np.max(np.abs(problem.A @ X - B)) < 1e-8
+
+    def test_matches_numpy_solve(self, grid12_pipeline):
+        problem, sf, _, bs, *_ = grid12_pipeline
+        L = BlockCholesky(bs, sf.A).factor().to_csc()
+        b = np.arange(problem.n, dtype=float)
+        x = solve_with_factor(L, b, sf.ordering)
+        x_ref = np.linalg.solve(problem.A.toarray(), b)
+        assert np.allclose(x, x_ref, atol=1e-7)

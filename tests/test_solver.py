@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.solver import SparseCholesky
+
+
+@pytest.fixture(scope="module")
+def grid_solver():
+    return SparseCholesky(grid2d_matrix(16).A).factor()
+
+
+class TestSparseCholesky:
+    def test_factor_solve(self, grid_solver):
+        n = grid_solver.A.shape[0]
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(n)
+        x = grid_solver.solve(b)
+        assert np.max(np.abs(grid_solver.A @ x - b)) < 1e-8
+
+    def test_L_before_factor_raises(self):
+        s = SparseCholesky(grid2d_matrix(6).A)
+        with pytest.raises(RuntimeError):
+            _ = s.L
+
+    def test_auto_ordering_mesh_picks_nd(self):
+        s = SparseCholesky(grid2d_matrix(24).A, ordering="auto")
+        nat = SparseCholesky(grid2d_matrix(24).A, ordering="natural")
+        assert s.symbolic.factor_ops < nat.symbolic.factor_ops
+
+    def test_auto_ordering_irregular_runs(self):
+        A = random_spd_sparse(120, density=0.05, seed=3)
+        s = SparseCholesky(A, ordering="auto").factor()
+        assert abs(s.L @ s.L.T - s.symbolic.A).max() < 1e-9
+
+    def test_explicit_permutation(self):
+        A = grid2d_matrix(8).A
+        perm = np.random.default_rng(1).permutation(A.shape[0])
+        s = SparseCholesky(A, ordering=perm).factor()
+        b = np.ones(A.shape[0])
+        assert np.max(np.abs(A @ s.solve(b) - b)) < 1e-8
+
+    def test_rejects_nonsquare(self):
+        from scipy import sparse
+
+        with pytest.raises(ValueError):
+            SparseCholesky(sparse.random(4, 5, density=0.5).tocsc())
+
+    def test_unknown_ordering(self):
+        with pytest.raises(KeyError):
+            SparseCholesky(grid2d_matrix(4).A, ordering="zorder")
+
+
+class TestPlanning:
+    def test_plan_fields(self, grid_solver):
+        plan = grid_solver.plan_parallel(16)
+        assert plan.P == 16
+        assert plan.mflops > 0
+        assert 0 < plan.efficiency <= plan.balance_bound + 1e-9
+        assert plan.runtime_seconds > 0
+
+    def test_plan_cyclic(self, grid_solver):
+        plan = grid_solver.plan_parallel(16, mapping="cyclic")
+        assert plan.mapping == "cyclic"
+
+    def test_nonsquare_p_falls_back(self, grid_solver):
+        plan = grid_solver.plan_parallel(15)
+        assert plan.P == 15
+        assert plan.meta["grid"] in ("3x5", "5x3")
+
+    def test_compare_mappings(self, grid_solver):
+        plans = grid_solver.compare_mappings(16)
+        assert set(plans) == {"cyclic", "ID/CY", "DW/CY"}
+        # heuristic should not lose badly to cyclic
+        assert plans["ID/CY"].mflops > 0.8 * plans["cyclic"].mflops
+
+    def test_plan_without_factor(self):
+        """Planning is symbolic-only: no numeric factorization required."""
+        s = SparseCholesky(grid2d_matrix(12).A)
+        plan = s.plan_parallel(9)
+        assert plan.mflops > 0
+
+    def test_recommend_processors_meets_target(self, grid_solver):
+        plan = grid_solver.recommend_processors(
+            target_efficiency=0.5, candidates=(1, 4, 9, 16)
+        )
+        assert plan.efficiency >= 0.5 or plan.P == 1
+
+    def test_recommend_prefers_larger_p(self, grid_solver):
+        loose = grid_solver.recommend_processors(
+            target_efficiency=0.05, candidates=(1, 4, 9, 16)
+        )
+        strict = grid_solver.recommend_processors(
+            target_efficiency=0.99, candidates=(1, 4, 9, 16)
+        )
+        assert loose.P >= strict.P
+
+    def test_recommend_rejects_bad_target(self, grid_solver):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            grid_solver.recommend_processors(target_efficiency=0.0)

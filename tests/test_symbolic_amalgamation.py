@@ -1,0 +1,58 @@
+import numpy as np
+
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+from repro.symbolic.amalgamation import AmalgamationParams
+
+
+class TestAmalgamation:
+    def test_reduces_supernode_count(self):
+        p = grid2d_matrix(12)
+        raw = symbolic_factor(p.A, order_problem(p, "nd"), amalgamate=False)
+        amal = symbolic_factor(p.A, order_problem(p, "nd"), amalgamate=True)
+        assert amal.nsupernodes <= raw.nsupernodes
+
+    def test_structure_still_covers_factor(self):
+        """Amalgamated structs must still contain every nonzero of L."""
+        p = grid2d_matrix(8)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"), amalgamate=True)
+        L = np.linalg.cholesky(sf.A.toarray())
+        ptr = sf.snode_ptr
+        for s in range(sf.nsupernodes):
+            a, b = int(ptr[s]), int(ptr[s + 1])
+            for j in range(a, b):
+                below = np.flatnonzero(np.abs(L[:, j]) > 1e-13)
+                below = below[below >= b]
+                assert np.isin(below, sf.snode_rows[s]).all()
+
+    def test_zero_fraction_only_merges_free(self):
+        """With frac=0 and small_width=0, merges only happen when they add
+        no explicit zeros, so supernodal nnz must not grow."""
+        p = grid2d_matrix(10)
+        params = AmalgamationParams(small_width=0, frac_small=0.0, frac=0.0)
+        raw = symbolic_factor(p.A, order_problem(p, "nd"), amalgamate=False)
+        tight = symbolic_factor(
+            p.A, order_problem(p, "nd"), amalgamate=True, amalg_params=params
+        )
+        assert tight.supernodal_nnz == raw.supernodal_nnz
+
+    def test_aggressive_merging_grows_storage_but_shrinks_count(self):
+        A = random_spd_sparse(120, density=0.04, seed=7)
+        raw = symbolic_factor(A, None, amalgamate=False)
+        loose = symbolic_factor(
+            A,
+            None,
+            amalgamate=True,
+            amalg_params=AmalgamationParams(small_width=64, frac_small=0.9, frac=0.9),
+        )
+        assert loose.nsupernodes < raw.nsupernodes
+        assert loose.supernodal_nnz >= raw.supernodal_nnz
+
+    def test_column_coverage_preserved(self):
+        A = random_spd_sparse(80, density=0.06, seed=8)
+        sf = symbolic_factor(A, None, amalgamate=True)
+        assert sf.snode_ptr[0] == 0
+        assert sf.snode_ptr[-1] == 80
+        assert (np.diff(sf.snode_ptr) > 0).all()

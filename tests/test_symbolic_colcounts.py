@@ -1,0 +1,52 @@
+import numpy as np
+
+from repro.matrices import cube3d_matrix, dense_matrix, grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.symbolic import column_counts, elimination_tree, factor_ops_from_counts
+from repro.symbolic.colcounts import factor_nnz_from_counts
+
+
+def dense_cc(A):
+    L = np.linalg.cholesky(A.toarray())
+    return (np.abs(L) > 1e-13).sum(axis=0)
+
+
+class TestColumnCounts:
+    def test_grid_matches_dense(self):
+        p = grid2d_matrix(7)
+        cc = column_counts(p.A, elimination_tree(p.A))
+        assert np.array_equal(cc, dense_cc(p.A))
+
+    def test_random_matches_dense(self):
+        for seed in range(3):
+            A = random_spd_sparse(45, density=0.08, seed=seed)
+            cc = column_counts(A, elimination_tree(A))
+            assert np.array_equal(cc, dense_cc(A))
+
+    def test_cube_matches_dense(self):
+        p = cube3d_matrix(4)
+        cc = column_counts(p.A, elimination_tree(p.A))
+        assert np.array_equal(cc, dense_cc(p.A))
+
+    def test_dense_counts(self):
+        p = dense_matrix(20)
+        cc = column_counts(p.A, elimination_tree(p.A))
+        assert cc.tolist() == list(range(20, 0, -1))
+
+
+class TestOpsFormula:
+    def test_dense1024_matches_paper(self):
+        """The paper's Table 1 lists 358.4M ops for DENSE1024."""
+        cc = np.arange(1024, 0, -1)
+        ops = factor_ops_from_counts(cc)
+        assert abs(ops / 1e6 - 358.4) < 0.1
+
+    def test_dense2048_matches_paper(self):
+        cc = np.arange(2048, 0, -1)
+        assert abs(factor_ops_from_counts(cc) / 1e6 - 2865.4) < 1.0
+
+    def test_diagonal_matrix(self):
+        assert factor_ops_from_counts(np.ones(5, dtype=int)) == 5  # 5 sqrts
+
+    def test_nnz(self):
+        assert factor_nnz_from_counts(np.array([3, 2, 1])) == 6

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.symbolic import elimination_tree, etree_postorder, tree_depths
+from repro.symbolic.etree import subtree_sizes
+
+
+def etree_reference(A):
+    """Parent of j = min{i > j : L[i,j] != 0} via dense factorization."""
+    L = np.linalg.cholesky(A.toarray())
+    n = A.shape[0]
+    parent = np.full(n, -1)
+    for j in range(n):
+        below = np.flatnonzero(np.abs(L[j + 1 :, j]) > 1e-13)
+        if below.size:
+            parent[j] = j + 1 + below[0]
+    return parent
+
+
+class TestEliminationTree:
+    def test_matches_dense_reference_grid(self):
+        p = grid2d_matrix(6)
+        assert np.array_equal(elimination_tree(p.A), etree_reference(p.A))
+
+    def test_matches_dense_reference_random(self):
+        A = random_spd_sparse(40, density=0.1, seed=0)
+        assert np.array_equal(elimination_tree(A), etree_reference(A))
+
+    def test_dense_matrix_is_path(self):
+        A = sparse.csc_matrix(np.eye(6) * 10 + np.ones((6, 6)))
+        parent = elimination_tree(A)
+        assert parent.tolist() == [1, 2, 3, 4, 5, -1]
+
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        A = sparse.eye(5).tocsc()
+        assert (elimination_tree(A) == -1).all()
+
+
+class TestPostorder:
+    def test_is_permutation(self):
+        from repro.util.arrays import is_permutation
+
+        A = random_spd_sparse(50, density=0.08, seed=1)
+        assert is_permutation(etree_postorder(elimination_tree(A)))
+
+    def test_children_before_parents(self):
+        A = random_spd_sparse(50, density=0.08, seed=2)
+        parent = elimination_tree(A)
+        post = etree_postorder(parent)
+        pos = np.empty(parent.shape[0], dtype=int)
+        pos[post] = np.arange(parent.shape[0])
+        for j, p in enumerate(parent):
+            if p != -1:
+                assert pos[j] < pos[p]
+
+    def test_subtrees_contiguous(self):
+        A = random_spd_sparse(40, density=0.1, seed=3)
+        parent = elimination_tree(A)
+        post = etree_postorder(parent)
+        pos = np.empty(parent.shape[0], dtype=int)
+        pos[post] = np.arange(parent.shape[0])
+        # after relabeling, each subtree occupies [first_desc, j]
+        relabeled = np.full(parent.shape[0], -1)
+        for j, p in enumerate(parent):
+            if p != -1:
+                relabeled[pos[j]] = pos[p]
+        size = subtree_sizes(relabeled)
+        for j in range(parent.shape[0]):
+            # nodes j-size[j]+1 .. j all lie in j's subtree
+            for k in range(j - int(size[j]) + 1, j + 1):
+                anc = k
+                while anc != j and anc != -1:
+                    anc = relabeled[anc]
+                assert anc == j
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError):
+            etree_postorder(np.array([1, 0]))
+
+
+class TestDepthsAndSizes:
+    def test_depths_path(self):
+        parent = np.array([1, 2, 3, -1])
+        assert tree_depths(parent).tolist() == [3, 2, 1, 0]
+
+    def test_depths_requires_postorder(self):
+        with pytest.raises(ValueError):
+            tree_depths(np.array([-1, 0]))
+
+    def test_sizes_star(self):
+        parent = np.array([3, 3, 3, -1])
+        assert subtree_sizes(parent).tolist() == [1, 1, 1, 4]

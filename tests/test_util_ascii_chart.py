@@ -1,0 +1,32 @@
+import pytest
+
+from repro.util.ascii_chart import bar_chart
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "b"], {"x": [0.5, 1.0]}, width=10)
+        lines = out.splitlines()
+        assert "# = x" in lines[0]
+        assert "|##########|" in out  # full bar for the max
+        assert "|#####" in out  # half bar
+
+    def test_two_series_fills(self):
+        out = bar_chart(["m"], {"eff": [0.4], "bal": [0.8]}, width=10)
+        assert "#" in out and "o" in out
+
+    def test_vmax_override(self):
+        out = bar_chart(["a"], {"x": [0.5]}, width=10, vmax=0.5)
+        assert "|##########|" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], {"x": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], {})
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], {"x": [0.0]}, width=10)
+        assert "0.000" in out

@@ -1,0 +1,24 @@
+import pytest
+
+from repro.util.formatting import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "2.50" in lines[2]
+        assert "3.25" not in lines[2]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_custom_floatfmt(self):
+        out = format_table(["v"], [[1.23456]], floatfmt="{:.4f}")
+        assert "1.2346" in out
