@@ -1,16 +1,21 @@
 PYTHON ?= python
 SCALE ?= medium
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-runtime experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# Mirrors the tier-1 CI command; pyproject's pythonpath=["src"] makes a
+# bare pytest work without an editable install.
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
 
 bench:
 	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-runtime:
+	$(PYTHON) scripts/bench_runtime.py --scale $(SCALE)
 
 experiments:
 	$(PYTHON) scripts/run_all_experiments.py $(SCALE)

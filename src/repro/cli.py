@@ -8,6 +8,9 @@ Commands
     Numerically factor a benchmark problem and verify ``L L^T = A``.
 ``simulate <problem>``
     Simulate the parallel block fan-out under a chosen mapping.
+``bench-real <problem>``
+    Execute the real multiprocess message-passing runtime and report the
+    measured per-worker busy/idle/comm breakdown and load balance.
 ``experiment <name>``
     Run one paper experiment (table1..table7, figure1, prime_grids, ...).
 ``suite``
@@ -92,6 +95,71 @@ def cmd_simulate(args) -> int:
     print(f"  messages   : {res.comm_messages:,} "
           f"({res.comm_bytes / 1e6:.1f} MB)")
     print(f"  idle       : {res.idle_fraction:.2f}")
+    return 0
+
+
+def cmd_bench_real(args) -> int:
+    import json
+
+    from repro.analysis.comm_volume import communication_volume
+    from repro.experiments.pipeline import prepare_problem
+    from repro.runtime import plan_owners, run_mp_fanout, validate_runtime
+
+    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    mappings = [m.strip() for m in args.mappings.split(",") if m.strip()]
+    policy = None if args.policy == "fifo" else args.policy
+    runs = {}
+    for mapping in mappings:
+        owners, name = plan_owners(
+            prep.workmodel, prep.taskgraph, args.nprocs, mapping,
+            use_domains=args.domains,
+        )
+        res = run_mp_fanout(
+            prep.structure, prep.symbolic.A, prep.taskgraph, owners,
+            args.nprocs, policy=policy, mapping=name,
+        )
+        met = res.metrics
+        met.problem = prep.name
+        runs[mapping] = res
+        predicted = communication_volume(prep.taskgraph, owners)
+        L = res.to_csc()
+        resid = abs(L @ L.T - prep.symbolic.A).max()
+        print(f"{prep.name} on {args.nprocs} workers ({name}):")
+        print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms")
+        print(f"  |L L^T - A|_max : {resid:.3e}")
+        print(f"  balance         : measured {met.measured_balance:.3f} "
+              f"(busy time), work {met.work_balance:.3f}")
+        print(f"  imbalance       : max/mean busy {met.imbalance:.3f}, "
+              f"work {met.work_imbalance:.3f}")
+        print(f"  messages        : {met.messages_total} measured / "
+              f"{predicted.messages} predicted "
+              f"({met.bytes_total / 1e6:.2f} MB)")
+        print("  per-worker breakdown:")
+        print("    " + met.render().replace("\n", "\n    "))
+        if args.validate:
+            rep = validate_runtime(
+                prep.structure, prep.symbolic.A, prep.taskgraph,
+                problem=prep.name, result=res, strict=False,
+            )
+            print("  " + rep.summary().replace("\n", "\n  "))
+            if not rep.ok:
+                return 1
+        print()
+    if len(runs) > 1:
+        print("mapping comparison (work imbalance, lower is better):")
+        for mapping, res in sorted(
+            runs.items(), key=lambda kv: kv[1].metrics.work_imbalance
+        ):
+            met = res.metrics
+            print(f"  {met.mapping:<10s} work_imbalance="
+                  f"{met.work_imbalance:.3f} "
+                  f"measured_balance={met.measured_balance:.3f} "
+                  f"wall={met.wall_s * 1e3:.1f} ms")
+    if args.json:
+        payload = {m: r.metrics.to_dict() for m, r in runs.items()}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"metrics written to {args.json}")
     return 0
 
 
@@ -201,6 +269,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="priority scheduling instead of FIFO")
     _add_common(p)
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "bench-real",
+        help="execute the real multiprocess runtime and report per-worker "
+             "metrics",
+    )
+    p.add_argument("problem")
+    p.add_argument("-p", "--nprocs", type=int, default=4,
+                   help="worker process count")
+    p.add_argument("--mappings", default="cyclic,DW/CY",
+                   help="comma-separated mappings to execute and compare")
+    p.add_argument("--policy", default="fifo",
+                   choices=("fifo", "column", "bottom_level"),
+                   help="ready-task scheduling policy on every worker")
+    p.add_argument("--domains", action="store_true",
+                   help="apply the domain (subtree) ownership portion")
+    p.add_argument("--validate", action="store_true",
+                   help="also check numerics/messages/work against the "
+                        "models")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write per-mapping metrics JSON to PATH")
+    _add_common(p)
+    p.set_defaults(fn=cmd_bench_real)
 
     p = sub.add_parser("analyze", help="structure/memory/critical-path report")
     p.add_argument("problem")

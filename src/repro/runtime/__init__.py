@@ -1,0 +1,55 @@
+"""Real message-passing block fan-out runtime.
+
+Where :mod:`repro.fanout.simulator` *predicts* how the block fan-out method
+behaves on a message-passing machine, this package *executes* it: N worker
+processes each own the blocks a :class:`~repro.mapping.base.BlockMap`
+assigns to them, run BFAC/BDIV/BMOD locally per §2.3's protocol, and fan
+completed blocks out as serialized messages over per-link channels. The
+metrics layer records per-worker busy/idle/comm timelines and per-link
+traffic, so the paper's remapping heuristics can be judged on measured
+wall-clock load distribution, and the validation harness pins the runtime
+against the sequential factorization, the static communication-volume
+predictor, and the work model.
+
+Layers: :mod:`~repro.runtime.wire` (block serialization),
+:mod:`~repro.runtime.links` (the interconnect stand-in),
+:mod:`~repro.runtime.scheduler` (per-worker ready queues),
+:mod:`~repro.runtime.worker` (the event loop),
+:mod:`~repro.runtime.engine` (process orchestration),
+:mod:`~repro.runtime.metrics` and :mod:`~repro.runtime.validation`.
+"""
+
+from repro.runtime.engine import (
+    MPRuntimeResult,
+    WorkerError,
+    mp_block_cholesky,
+    plan_owners,
+    run_mp_fanout,
+)
+from repro.runtime.links import Link, LinkFabric
+from repro.runtime.metrics import RuntimeMetrics, WorkerMetrics
+from repro.runtime.scheduler import ReadyScheduler
+from repro.runtime.validation import (
+    ValidationError,
+    ValidationReport,
+    validate_runtime,
+)
+from repro.runtime.worker import Worker, WorkerResult
+
+__all__ = [
+    "MPRuntimeResult",
+    "WorkerError",
+    "mp_block_cholesky",
+    "plan_owners",
+    "run_mp_fanout",
+    "Link",
+    "LinkFabric",
+    "RuntimeMetrics",
+    "WorkerMetrics",
+    "ReadyScheduler",
+    "ValidationError",
+    "ValidationReport",
+    "validate_runtime",
+    "Worker",
+    "WorkerResult",
+]

@@ -1,0 +1,260 @@
+"""Driver for the multiprocess message-passing fan-out runtime.
+
+``run_mp_fanout`` spawns one OS process per logical processor, hands each
+its share of the block map, lets them factor by exchanging real messages
+(:mod:`repro.runtime.worker`), then gathers the owned factor blocks and
+per-worker metrics. ``plan_owners`` turns the mapping names used everywhere
+else in the repo (``"cyclic"``, ``"DW/CY"``, ...) into a block ownership
+array, so the exact configurations studied by the simulator and the balance
+metrics can be executed for real and timed.
+
+Robustness: workers that raise broadcast ABORT frames; the driver enforces
+a global deadline, joins every child, and terminates stragglers — no orphan
+processes on success, failure, or deadlock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.blocks.structure import BlockStructure
+from repro.fanout.domains import assign_domains
+from repro.fanout.ownership import block_owners
+from repro.fanout.priorities import task_priorities
+from repro.fanout.tasks import TaskGraph
+from repro.mapping import best_grid, cyclic_map, heuristic_map, square_grid
+from repro.numeric.blockfact import BlockCholesky
+from repro.runtime import wire
+from repro.runtime.links import LinkFabric
+from repro.runtime.metrics import RuntimeMetrics, WorkerMetrics
+from repro.runtime.worker import worker_main
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the remote traceback."""
+
+    def __init__(self, rank: int, remote_traceback: str):
+        super().__init__(
+            f"worker {rank} failed:\n{remote_traceback.rstrip()}"
+        )
+        self.rank = rank
+        self.remote_traceback = remote_traceback
+
+
+@dataclass
+class MPRuntimeResult:
+    """A real parallel factorization: the assembled factor plus metrics."""
+
+    factor: BlockCholesky
+    metrics: RuntimeMetrics
+    owners: np.ndarray
+    mapping: str
+    meta: dict = field(default_factory=dict)
+
+    def to_csc(self) -> sparse.csc_matrix:
+        return self.factor.to_csc()
+
+
+def plan_owners(
+    wm,
+    tg: TaskGraph,
+    nprocs: int,
+    mapping: str = "DW/CY",
+    use_domains: bool = False,
+) -> tuple[np.ndarray, str]:
+    """Block ownership for ``nprocs`` workers under a named mapping.
+
+    ``mapping`` is ``"cyclic"`` or a ``"<row>/<col>"`` heuristic pair
+    (``DW``, ``IN``, ``DN``, ``ID`` x ``CY``, ...) exactly as accepted by
+    the CLI and :meth:`repro.solver.SparseCholesky.plan_parallel`.
+    """
+    try:
+        grid = square_grid(nprocs)
+    except ValueError:
+        grid = best_grid(nprocs)
+    if mapping == "cyclic":
+        cmap = cyclic_map(tg.npanels, grid)
+    else:
+        rh, _, ch = mapping.partition("/")
+        cmap = heuristic_map(wm, grid, rh.upper(), (ch or "CY").upper())
+    domains = assign_domains(wm, grid.P) if use_domains else None
+    return block_owners(tg, cmap, domains), cmap.name
+
+
+def run_mp_fanout(
+    structure: BlockStructure,
+    A: sparse.spmatrix,
+    tg: TaskGraph,
+    owners: np.ndarray,
+    nprocs: int,
+    priorities: np.ndarray | None = None,
+    policy: str | None = None,
+    depth: np.ndarray | None = None,
+    timeout_s: float = 300.0,
+    stall_timeout_s: float = 30.0,
+    poll_s: float = 0.002,
+    inject_failure: tuple[int, int] | None = None,
+    record_timeline: bool = True,
+    start_method: str | None = None,
+    mapping: str = "",
+) -> MPRuntimeResult:
+    """Factor ``A`` with ``nprocs`` worker processes exchanging messages.
+
+    ``owners[b]`` assigns block ``b`` to a worker (see :func:`plan_owners`).
+    ``policy`` is a :mod:`repro.fanout.priorities` name (``"fifo"``,
+    ``"column"``, ``"depth"``, ``"bottom_level"``) applied identically on
+    every worker; an explicit ``priorities`` array wins over ``policy``.
+    ``inject_failure=(rank, after_n_tasks)`` is the fault-injection hook the
+    shutdown tests use. Raises :class:`WorkerError` if any worker fails and
+    :class:`RuntimeError` on a global timeout; in every case all child
+    processes are reaped before returning or raising.
+    """
+    owners = np.asarray(owners)
+    if owners.shape[0] != tg.nblocks:
+        raise ValueError("owners must have one entry per block")
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    if owners.size and (owners.min() < 0 or owners.max() >= nprocs):
+        raise ValueError("block owner out of range for nprocs")
+    if priorities is None and policy not in (None, "fifo"):
+        priorities = task_priorities(tg, policy, depth=depth)
+
+    if start_method is None:
+        start_method = (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+    ctx = mp.get_context(start_method)
+    fabric = LinkFabric(nprocs, ctx)
+    result_queue = ctx.Queue()
+    epoch = time.perf_counter()
+    op_fixed_cost = getattr(tg.workmodel, "op_fixed_cost", 1000)
+
+    procs = []
+    for rank in range(nprocs):
+        kwargs = dict(
+            structure=structure,
+            A=A,
+            tg=tg,
+            owners=owners,
+            fabric=fabric,
+            result_queue=result_queue,
+            priorities=priorities,
+            epoch=epoch,
+            poll_s=poll_s,
+            stall_timeout_s=stall_timeout_s,
+            inject_failure=inject_failure,
+            record_timeline=record_timeline,
+            op_fixed_cost=op_fixed_cost,
+        )
+        p = ctx.Process(
+            target=worker_main, args=(rank, kwargs), name=f"repro-mp-{rank}"
+        )
+        p.daemon = True
+        p.start()
+        procs.append(p)
+
+    results: dict[int, object] = {}
+    deadline = time.monotonic() + timeout_s
+    try:
+        while len(results) < nprocs:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"runtime timeout after {timeout_s:.0f}s: "
+                    f"{len(results)}/{nprocs} workers reported"
+                )
+            try:
+                res = result_queue.get(timeout=min(0.1, remaining))
+                results[res.rank] = res
+            except queue_mod.Empty:
+                dead = [
+                    p.name for p in procs
+                    if not p.is_alive() and p.exitcode not in (0, None)
+                ]
+                if dead and len(results) < nprocs:
+                    # A worker died without reporting (kill/segfault).
+                    raise RuntimeError(
+                        f"worker process(es) died without reporting: {dead}"
+                    )
+        wall_s = time.perf_counter() - epoch
+    finally:
+        _reap(procs)
+        fabric.shutdown()
+        result_queue.cancel_join_thread()
+        result_queue.close()
+
+    for rank in sorted(results):
+        err = results[rank].metrics.error
+        if err is not None:
+            raise WorkerError(rank, err)
+
+    factor = _assemble(structure, A, tg, results)
+    metrics = RuntimeMetrics(
+        nprocs=nprocs,
+        wall_s=wall_s,
+        workers=[results[r].metrics for r in sorted(results)],
+        mapping=mapping,
+    )
+    return MPRuntimeResult(
+        factor=factor,
+        metrics=metrics,
+        owners=owners,
+        mapping=mapping,
+        meta={"start_method": start_method},
+    )
+
+
+def _reap(procs, grace_s: float = 5.0) -> None:
+    """Join every child; terminate (then kill) any that linger."""
+    deadline = time.monotonic() + grace_s
+    for p in procs:
+        p.join(timeout=max(0.0, deadline - time.monotonic()))
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=1.0)
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - last resort
+            p.kill()
+            p.join(timeout=1.0)
+        p.close()
+
+
+def _assemble(structure, A, tg, results) -> BlockCholesky:
+    """Overwrite a factor shell with the gathered owned blocks."""
+    shell = BlockCholesky(structure, A)
+    for res in results.values():
+        for frame in res.frames:
+            msg = wire.unpack(frame)
+            b = msg.block
+            I, J = int(tg.block_I[b]), int(tg.block_J[b])
+            if I == J:
+                shell.diag[J] = msg.payload
+            else:
+                shell.below[J][I] = msg.payload
+    shell._factored[:] = True
+    return shell
+
+
+def mp_block_cholesky(
+    structure: BlockStructure,
+    A: sparse.spmatrix,
+    tg: TaskGraph,
+    nprocs: int = 4,
+    mapping: str = "DW/CY",
+    use_domains: bool = False,
+    **kwargs,
+) -> MPRuntimeResult:
+    """One-call convenience: plan ownership from a mapping name and run."""
+    owners, name = plan_owners(
+        tg.workmodel, tg, nprocs, mapping, use_domains
+    )
+    return run_mp_fanout(
+        structure, A, tg, owners, nprocs, mapping=name, **kwargs
+    )

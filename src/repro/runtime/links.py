@@ -1,0 +1,75 @@
+"""Per-link message channels standing in for the interconnect.
+
+The fabric owns one multiprocessing inbox queue per worker (its NIC receive
+port). A :class:`Link` is a directed ``src -> dst`` virtual channel over the
+destination's inbox; each worker instantiates its row of outgoing links
+inside its own process, so the per-link message/byte counters are local,
+race-free, and shipped home with the worker's metrics. Summed over links,
+the counters reproduce exactly what the static predictor
+(:func:`repro.analysis.comm_volume.communication_volume`) counts.
+"""
+
+from __future__ import annotations
+
+
+class Link:
+    """Directed ``src -> dst`` channel with traffic counters."""
+
+    __slots__ = ("src", "dst", "queue", "messages", "bytes")
+
+    def __init__(self, src: int, dst: int, queue):
+        self.src = src
+        self.dst = dst
+        self.queue = queue
+        self.messages = 0
+        self.bytes = 0
+
+    def send(self, frame: bytes) -> None:
+        """Put one wire frame on the link (never blocks: queues are
+        unbounded, buffered by a feeder thread)."""
+        self.queue.put(frame)
+        self.messages += 1
+        self.bytes += len(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link({self.src}->{self.dst}, msgs={self.messages}, "
+            f"bytes={self.bytes})"
+        )
+
+
+class LinkFabric:
+    """The all-to-all interconnect of an ``nprocs``-worker runtime.
+
+    Created in the driver process (the queues must exist before fork/spawn)
+    and shipped to every worker; a worker then asks for its
+    :meth:`outgoing` links and its own :meth:`inbox`.
+    """
+
+    def __init__(self, nprocs: int, ctx):
+        if nprocs < 1:
+            raise ValueError("nprocs must be positive")
+        self.nprocs = nprocs
+        self.inboxes = [ctx.Queue() for _ in range(nprocs)]
+
+    def inbox(self, rank: int):
+        return self.inboxes[rank]
+
+    def outgoing(self, src: int) -> dict[int, Link]:
+        """Links from ``src`` to every other worker (call in the worker)."""
+        return {
+            dst: Link(src, dst, self.inboxes[dst])
+            for dst in range(self.nprocs)
+            if dst != src
+        }
+
+    def shutdown(self) -> None:
+        """Drain and release the queues (driver-side cleanup)."""
+        for q in self.inboxes:
+            try:
+                while True:
+                    q.get_nowait()
+            except Exception:
+                pass
+            q.close()
+            q.cancel_join_thread()

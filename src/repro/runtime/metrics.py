@@ -1,0 +1,227 @@
+"""Per-worker and runtime-wide metrics for the message-passing engine.
+
+Each worker records a wall-clock timeline of ``busy`` (executing block
+operations), ``comm`` (serializing, sending, receiving, unpacking frames)
+and ``idle`` (blocked waiting for messages) segments, plus task counts,
+per-link traffic, and the work-model units it actually executed. The
+aggregate report computes measured load balance the same way the paper's
+balance statistic does — ``total / (P * max)`` — so a real run can be laid
+directly beside the :mod:`repro.mapping.balance` predictions, dumped as
+JSON, or rendered as an ASCII chart via :mod:`repro.util.ascii_chart`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.ascii_chart import bar_chart
+
+#: Timeline categories.
+CATEGORIES = ("busy", "comm", "idle")
+
+
+class TimelineRecorder:
+    """Accumulates (category, start, end) segments, merging adjacent
+    segments of the same category (keeps timelines compact)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.segments: list[tuple[str, float, float]] = []
+        self.totals = {c: 0.0 for c in CATEGORIES}
+
+    def add(self, category: str, start: float, end: float) -> None:
+        if end <= start:
+            return
+        self.totals[category] += end - start
+        if not self.enabled:
+            return
+        if self.segments:
+            last_cat, last_start, last_end = self.segments[-1]
+            if last_cat == category and start - last_end < 1e-7:
+                self.segments[-1] = (category, last_start, end)
+                return
+        self.segments.append((category, start, end))
+
+
+@dataclass
+class WorkerMetrics:
+    """One worker's measured execution profile."""
+
+    rank: int
+    tasks_executed: int = 0
+    task_counts: dict[str, int] = field(
+        default_factory=lambda: {"BFAC": 0, "BDIV": 0, "BMOD": 0}
+    )
+    busy_s: float = 0.0
+    comm_s: float = 0.0
+    idle_s: float = 0.0
+    flops_executed: int = 0
+    work_executed: int = 0  # work-model units: flops + fixed cost per op
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    #: Per-link traffic this worker sent: ``{dst_rank: [messages, bytes]}``.
+    links: dict[int, list[int]] = field(default_factory=dict)
+    timeline: list[tuple[str, float, float]] = field(default_factory=list)
+    error: str | None = None
+    aborted: bool = False
+
+    @property
+    def span_s(self) -> float:
+        return self.busy_s + self.comm_s + self.idle_s
+
+    def to_dict(self) -> dict:
+        d = dict(self.__dict__)
+        d["links"] = {str(k): list(v) for k, v in self.links.items()}
+        d["timeline"] = [list(seg) for seg in self.timeline]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkerMetrics":
+        d = dict(d)
+        d["links"] = {int(k): list(v) for k, v in d.get("links", {}).items()}
+        d["timeline"] = [
+            (str(c), float(a), float(b)) for c, a, b in d.get("timeline", [])
+        ]
+        return cls(**d)
+
+
+@dataclass
+class RuntimeMetrics:
+    """Aggregate of one real parallel factorization."""
+
+    nprocs: int
+    wall_s: float
+    workers: list[WorkerMetrics]
+    mapping: str = ""
+    problem: str = ""
+
+    def __post_init__(self) -> None:
+        self.workers = sorted(self.workers, key=lambda w: w.rank)
+
+    # ------------------------------------------------------------------
+    def _per_worker(self, attr: str) -> np.ndarray:
+        return np.array([getattr(w, attr) for w in self.workers], dtype=float)
+
+    @property
+    def busy(self) -> np.ndarray:
+        return self._per_worker("busy_s")
+
+    @property
+    def work(self) -> np.ndarray:
+        return self._per_worker("work_executed")
+
+    @property
+    def messages_total(self) -> int:
+        return int(sum(w.messages_sent for w in self.workers))
+
+    @property
+    def bytes_total(self) -> int:
+        return int(sum(w.bytes_sent for w in self.workers))
+
+    @property
+    def tasks_total(self) -> int:
+        return int(sum(w.tasks_executed for w in self.workers))
+
+    @staticmethod
+    def _balance(values: np.ndarray) -> float:
+        """``total / (P * max)`` — 1.0 is perfect, the paper's statistic."""
+        m = float(values.max(initial=0.0))
+        if m <= 0:
+            return 1.0
+        return float(values.sum() / (values.shape[0] * m))
+
+    @property
+    def measured_balance(self) -> float:
+        """Balance of measured busy seconds (wall-clock load distribution)."""
+        return self._balance(self.busy)
+
+    @property
+    def work_balance(self) -> float:
+        """Balance of executed work-model units (deterministic; comparable
+        to :func:`repro.mapping.balance.overall_balance_from_owners`)."""
+        return self._balance(self.work)
+
+    @property
+    def imbalance(self) -> float:
+        """``max busy / mean busy`` — 1.0 is perfect, larger is worse."""
+        b = self.busy
+        mean = float(b.mean()) if b.size else 0.0
+        if mean <= 0:
+            return 1.0
+        return float(b.max() / mean)
+
+    @property
+    def work_imbalance(self) -> float:
+        w = self.work
+        mean = float(w.mean()) if w.size else 0.0
+        if mean <= 0:
+            return 1.0
+        return float(w.max() / mean)
+
+    def link_matrix(self) -> np.ndarray:
+        """``[src, dst] -> messages`` over the whole run."""
+        M = np.zeros((self.nprocs, self.nprocs), dtype=np.int64)
+        for w in self.workers:
+            for dst, (msgs, _bytes) in w.links.items():
+                M[w.rank, dst] = msgs
+        return M
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "nprocs": self.nprocs,
+            "wall_s": self.wall_s,
+            "mapping": self.mapping,
+            "problem": self.problem,
+            "measured_balance": self.measured_balance,
+            "work_balance": self.work_balance,
+            "imbalance": self.imbalance,
+            "messages": self.messages_total,
+            "bytes": self.bytes_total,
+            "tasks": self.tasks_total,
+            "workers": [w.to_dict() for w in self.workers],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RuntimeMetrics":
+        return cls(
+            nprocs=int(d["nprocs"]),
+            wall_s=float(d["wall_s"]),
+            workers=[WorkerMetrics.from_dict(w) for w in d["workers"]],
+            mapping=str(d.get("mapping", "")),
+            problem=str(d.get("problem", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuntimeMetrics":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    # ------------------------------------------------------------------
+    def render(self, width: int = 40) -> str:
+        """ASCII busy/comm/idle breakdown, one bar group per worker."""
+        labels = [f"w{w.rank}" for w in self.workers]
+        series = {
+            "busy": [w.busy_s for w in self.workers],
+            "comm": [w.comm_s for w in self.workers],
+            "idle": [w.idle_s for w in self.workers],
+        }
+        chart = bar_chart(labels, series, width=width)
+        summary = (
+            f"P={self.nprocs} wall={self.wall_s * 1e3:.1f} ms "
+            f"balance={self.measured_balance:.3f} "
+            f"(work {self.work_balance:.3f}) "
+            f"msgs={self.messages_total} ({self.bytes_total / 1e6:.2f} MB)"
+        )
+        return chart + "\n" + summary

@@ -1,0 +1,55 @@
+"""Ready-task scheduling inside one worker.
+
+Mirrors the simulator's two queue disciplines
+(:class:`repro.machine.processor.SimProcessor`): data-driven FIFO — tasks
+run in arrival order, §2.3's default — or priority order under any of the
+per-task priority arrays from :mod:`repro.fanout.priorities` (``column``,
+``depth``, ``bottom_level``; lower value runs first). The same policy names
+therefore mean the same execution order in simulation and real execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+
+class ReadyScheduler:
+    """Queue of ready task ids; FIFO or priority-ordered.
+
+    ``priorities`` is the full per-task priority array (one value per task
+    in the graph, lower runs first) or None for FIFO. Ties and FIFO order
+    are broken by arrival sequence, making every discipline deterministic.
+    """
+
+    def __init__(self, priorities: np.ndarray | None = None):
+        self._prio = None if priorities is None else np.asarray(
+            priorities, dtype=np.float64
+        )
+        self._fifo: deque[int] = deque()
+        self._heap: list[tuple[float, int, int]] = []
+        self._seq = 0
+
+    @property
+    def priority_mode(self) -> bool:
+        return self._prio is not None
+
+    def push(self, tid: int) -> None:
+        if self._prio is None:
+            self._fifo.append(tid)
+        else:
+            heapq.heappush(self._heap, (float(self._prio[tid]), self._seq, tid))
+        self._seq += 1
+
+    def pop(self) -> int:
+        if self._prio is None:
+            return self._fifo.popleft()
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._fifo) if self._prio is None else len(self._heap)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,116 @@
+"""Serialized block wire format for the message-passing runtime.
+
+Every message on a link is one *frame*: a fixed 64-byte header followed by
+the block payload as little-endian float64 words. The header size equals
+``MachineParams.header_bytes`` and diagonal blocks travel as their packed
+lower triangle (``w*(w+1)/2`` words — the only significant part of
+``L_KK``), so a frame's byte length is exactly the
+``machine.message_bytes(block_words)`` that the static predictor
+:func:`repro.analysis.comm_volume.communication_volume` charges. Measured
+and predicted communication volume are therefore directly comparable,
+message for message and byte for byte.
+
+Frame kinds
+-----------
+``BLOCK``
+    A completed factor block fanned out to a consumer (or gathered to the
+    driver at shutdown). ``block`` is the global block index; ``rows`` /
+    ``cols`` are the dense block shape.
+``ABORT``
+    A worker hit an error; peers should stop promptly. Payload-free.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Frame kinds.
+BLOCK, ABORT = 1, 2
+
+#: Wire header: magic, kind, src rank, block id, rows, cols, payload words.
+_HEADER = struct.Struct("<4sBiiiiq")
+#: Fixed frame header size — matches ``MachineParams.header_bytes``.
+HEADER_BYTES = 64
+_MAGIC = b"RSB1"
+_PAD = b"\0" * (HEADER_BYTES - _HEADER.size)
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """A decoded frame."""
+
+    kind: int
+    src: int
+    block: int
+    rows: int
+    cols: int
+    payload: np.ndarray | None
+
+    @property
+    def nbytes(self) -> int:
+        words = 0 if self.payload is None else self.payload.size
+        return HEADER_BYTES + 8 * words
+
+
+def pack_block(
+    src: int, block: int, I: int, J: int, array: np.ndarray
+) -> bytes:
+    """Serialize factor block ``(I, J)`` (global index ``block``).
+
+    Diagonal blocks (``I == J``) ship only the lower triangle; subdiagonal
+    blocks ship the full dense ``rows x cols`` array.
+    """
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("block payload must be a 2-D array")
+    rows, cols = arr.shape
+    if I == J:
+        if rows != cols:
+            raise ValueError("diagonal block must be square")
+        words = arr[np.tril_indices(rows)]
+    else:
+        words = arr.ravel()
+    header = _HEADER.pack(
+        _MAGIC, BLOCK, src, block, rows, cols, words.shape[0]
+    )
+    return b"".join((header, _PAD, words.tobytes()))
+
+
+def pack_abort(src: int) -> bytes:
+    """Serialize a payload-free ABORT frame."""
+    return _HEADER.pack(_MAGIC, ABORT, src, -1, 0, 0, 0) + _PAD
+
+
+def unpack(frame: bytes) -> WireMessage:
+    """Decode one frame back into a :class:`WireMessage`.
+
+    Diagonal payloads are unpacked from the packed triangle into a full
+    square array with an explicitly zero upper triangle.
+    """
+    if len(frame) < HEADER_BYTES:
+        raise ValueError("frame shorter than the wire header")
+    magic, kind, src, block, rows, cols, nwords = _HEADER.unpack_from(frame)
+    if magic != _MAGIC:
+        raise ValueError(f"bad frame magic {magic!r}")
+    if kind == ABORT:
+        return WireMessage(ABORT, src, block, 0, 0, None)
+    if kind != BLOCK:
+        raise ValueError(f"unknown frame kind {kind}")
+    words = np.frombuffer(frame, dtype="<f8", count=nwords, offset=HEADER_BYTES)
+    if nwords == rows * (rows + 1) // 2 and rows == cols and nwords != rows * cols:
+        payload = np.zeros((rows, cols))
+        payload[np.tril_indices(rows)] = words
+    elif rows == cols and nwords == rows * cols == rows * (rows + 1) // 2:
+        # 1x1 (and degenerate) diagonal blocks: triangle == full array.
+        payload = words.reshape(rows, cols).copy()
+    elif nwords == rows * cols:
+        payload = words.reshape(rows, cols).copy()
+    else:
+        raise ValueError(
+            f"payload size {nwords} matches neither full ({rows}x{cols}) "
+            "nor packed-triangular storage"
+        )
+    return WireMessage(BLOCK, src, block, rows, cols, payload)

@@ -1,0 +1,328 @@
+"""The worker event loop: §2.3's fan-out protocol over real processes.
+
+Each worker owns the blocks a :class:`~repro.mapping.base.BlockMap` (via
+``block_owners``) assigned to it and executes every block operation whose
+destination it owns. Completions trigger real messages:
+
+* BFAC(K,K)  -> send ``L_KK`` to every remote worker owning a subdiagonal
+  block of panel K (they need it for BDIV);
+* BDIV(I,K)  -> send ``L_IK`` to every remote worker owning a destination
+  of one of its BMODs;
+* a BMOD becomes ready when both source blocks are present; BFAC/BDIV when
+  the destination has absorbed all its BMODs (BDIV also after the diagonal
+  arrives) — identical bookkeeping to the discrete-event simulator, so the
+  same mapping yields the same message set, now with real wall-clock time.
+
+A worker terminates when it has executed all its tasks; it then ships its
+factored blocks and metrics home on the result queue. On error it
+broadcasts ABORT frames so peers exit promptly instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numeric.blockfact import BlockCholesky
+from repro.fanout.tasks import BDIV, BFAC, BMOD
+from repro.runtime import wire
+from repro.runtime.metrics import TimelineRecorder, WorkerMetrics
+from repro.runtime.scheduler import ReadyScheduler
+
+_KIND_NAMES = {BFAC: "BFAC", BDIV: "BDIV", BMOD: "BMOD"}
+
+
+class _Abort(Exception):
+    """A peer told us to stop."""
+
+
+@dataclass
+class WorkerResult:
+    """What a worker sends home: metrics plus its owned factor blocks
+    (wire frames; empty on error/abort)."""
+
+    rank: int
+    metrics: WorkerMetrics
+    frames: list[bytes]
+
+
+class Worker:
+    """One rank of the message-passing runtime.
+
+    Parameters mirror the shared plan built by the engine: the block
+    ``structure`` and input matrix ``A`` (to scatter initial block data —
+    the runtime's stand-in for the host distributing ``A``), the task graph
+    ``tg``, the block ``owners`` array, an optional per-task priority
+    array, and failure-injection / watchdog knobs.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        structure,
+        A,
+        tg,
+        owners: np.ndarray,
+        fabric,
+        result_queue,
+        priorities: np.ndarray | None = None,
+        epoch: float = 0.0,
+        poll_s: float = 0.002,
+        stall_timeout_s: float = 30.0,
+        inject_failure: tuple[int, int] | None = None,
+        record_timeline: bool = True,
+        op_fixed_cost: int = 1000,
+    ):
+        self.rank = rank
+        self.structure = structure
+        self.A = A
+        self.tg = tg
+        self.owners = np.asarray(owners)
+        self.fabric = fabric
+        self.result_queue = result_queue
+        self.priorities = priorities
+        self.epoch = epoch
+        self.poll_s = poll_s
+        self.stall_timeout_s = stall_timeout_s
+        self.inject_failure = inject_failure
+        self.op_fixed_cost = op_fixed_cost
+        self.metrics = WorkerMetrics(rank=rank)
+        self.timeline = TimelineRecorder(enabled=record_timeline)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Execute the event loop and ship the result; never raises."""
+        try:
+            self._setup()
+            self._loop()
+            frames = self._gather_frames()
+        except _Abort:
+            self.metrics.aborted = True
+            frames = []
+        except BaseException:  # noqa: BLE001 - reported to the driver
+            self.metrics.error = traceback.format_exc()
+            frames = []
+            self._broadcast_abort()
+        self._finalize()
+        self.result_queue.put(WorkerResult(self.rank, self.metrics, frames))
+        if self.metrics.error is not None or self.metrics.aborted:
+            # Don't hang at exit flushing frames to peers that may be gone.
+            for link in getattr(self, "links", {}).values():
+                link.queue.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        tg = self.tg
+        self.chol = BlockCholesky(self.structure, self.A)
+        self.inbox = self.fabric.inbox(self.rank)
+        self.links = self.fabric.outgoing(self.rank)
+        self.task_owner = self.owners[tg.task_block]
+        self.mine = self.task_owner == self.rank
+        self.n_owned = int(self.mine.sum())
+        self.executed = 0
+        self.mods_remaining = tg.nmod.copy()
+        self.missing = tg.task_missing_init.copy()
+        self.diag_ready = np.zeros(tg.nblocks, dtype=bool)
+        self.scheduler = ReadyScheduler(self.priorities)
+        # Seed: owned diagonal blocks with no incoming BMODs.
+        diag = tg.block_I == tg.block_J
+        for b in np.flatnonzero(diag & (tg.nmod == 0)):
+            if self.owners[b] == self.rank:
+                self.scheduler.push(int(tg.bfac_task[int(b)]))
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def _loop(self) -> None:
+        last_progress = self._now()
+        while self.executed < self.n_owned:
+            progressed = self._drain_inbox()
+            if self.scheduler:
+                tid = self.scheduler.pop()
+                self._execute(tid)
+                progressed = True
+            elif not progressed:
+                progressed = self._wait_for_message()
+            if progressed:
+                last_progress = self._now()
+            elif self._now() - last_progress > self.stall_timeout_s:
+                raise RuntimeError(
+                    f"worker {self.rank} stalled: {self.executed}/"
+                    f"{self.n_owned} tasks done, no messages for "
+                    f"{self.stall_timeout_s:.0f}s (deadlock?)"
+                )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _drain_inbox(self) -> bool:
+        got = False
+        while True:
+            try:
+                frame = self.inbox.get_nowait()
+            except queue_mod.Empty:
+                return got
+            self._handle_frame(frame)
+            got = True
+
+    def _wait_for_message(self) -> bool:
+        t0 = self._now()
+        try:
+            frame = self.inbox.get(timeout=self.poll_s)
+        except queue_mod.Empty:
+            self.timeline.add("idle", t0, self._now())
+            return False
+        self.timeline.add("idle", t0, self._now())
+        self._handle_frame(frame)
+        return True
+
+    def _handle_frame(self, frame: bytes) -> None:
+        t0 = self._now()
+        msg = wire.unpack(frame)
+        if msg.kind == wire.ABORT:
+            raise _Abort()
+        self.metrics.messages_received += 1
+        self.metrics.bytes_received += len(frame)
+        tg = self.tg
+        b = msg.block
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        if I == J:
+            self.chol.diag[J] = msg.payload
+            self.chol._factored[J] = True
+            self._diag_completed(J)
+        else:
+            self.chol.below[J][I] = msg.payload
+            self._subdiag_completed(b)
+        self.timeline.add("comm", t0, self._now())
+
+    # ------------------------------------------------------------------
+    # Dependency bookkeeping (local mirror of the simulator's)
+    # ------------------------------------------------------------------
+    def _diag_completed(self, k: int) -> None:
+        """``L_KK`` is available here; wake owned BDIVs of panel k."""
+        tg = self.tg
+        sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
+        for b in sub:
+            b = int(b)
+            if self.owners[b] != self.rank:
+                continue
+            self.diag_ready[b] = True
+            if self.mods_remaining[b] == 0:
+                self.scheduler.push(int(tg.bdiv_task[b]))
+
+    def _subdiag_completed(self, b: int) -> None:
+        """``L_IK`` is available here; decrement owned consumer BMODs."""
+        tg = self.tg
+        for t in tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]:
+            t = int(t)
+            if self.task_owner[t] != self.rank:
+                continue
+            self.missing[t] -= 1
+            if self.missing[t] == 0:
+                self.scheduler.push(t)
+
+    def _block_mods_done(self, b: int) -> None:
+        tg = self.tg
+        if tg.block_I[b] == tg.block_J[b]:
+            self.scheduler.push(int(tg.bfac_task[b]))
+        elif self.diag_ready[b]:
+            self.scheduler.push(int(tg.bdiv_task[b]))
+
+    # ------------------------------------------------------------------
+    # Executing and fanning out
+    # ------------------------------------------------------------------
+    def _execute(self, tid: int) -> None:
+        tg = self.tg
+        t0 = self._now()
+        self.chol.apply_task(tg, tid)
+        t1 = self._now()
+        self.timeline.add("busy", t0, t1)
+
+        kind = int(tg.task_kind[tid])
+        b = int(tg.task_block[tid])
+        m = self.metrics
+        m.tasks_executed += 1
+        m.task_counts[_KIND_NAMES[kind]] += 1
+        flops = int(tg.task_flops[tid])
+        m.flops_executed += flops
+        m.work_executed += flops + self.op_fixed_cost
+        self.executed += 1
+        if (
+            self.inject_failure is not None
+            and self.rank == self.inject_failure[0]
+            and self.executed >= self.inject_failure[1]
+        ):
+            raise RuntimeError(
+                f"injected failure on worker {self.rank} after "
+                f"{self.executed} tasks"
+            )
+
+        if kind == BMOD:
+            self.mods_remaining[b] -= 1
+            if self.mods_remaining[b] == 0:
+                self._block_mods_done(b)
+        elif kind == BFAC:
+            k = int(tg.block_J[b])
+            sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
+            self._fan_out(b, self.owners[sub])
+            self._diag_completed(k)
+        else:  # BDIV
+            deps = tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]
+            self._fan_out(b, self.task_owner[deps])
+            self._subdiag_completed(b)
+
+    def _fan_out(self, b: int, target_owners: np.ndarray) -> None:
+        """Send completed block ``b`` once to each distinct remote owner."""
+        remote = np.unique(target_owners[target_owners != self.rank])
+        if remote.size == 0:
+            return
+        t0 = self._now()
+        frame = self._frame_for(b)
+        for dst in remote:
+            self.links[int(dst)].send(frame)
+        self.timeline.add("comm", t0, self._now())
+
+    def _frame_for(self, b: int) -> bytes:
+        tg = self.tg
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        arr = self.chol.diag[J] if I == J else self.chol.below[J][I]
+        return wire.pack_block(self.rank, b, I, J, arr)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def _gather_frames(self) -> list[bytes]:
+        """Frames for every block this worker owns (the result gather)."""
+        return [
+            self._frame_for(int(b))
+            for b in np.flatnonzero(self.owners == self.rank)
+        ]
+
+    def _broadcast_abort(self) -> None:
+        frame = wire.pack_abort(self.rank)
+        for link in getattr(self, "links", {}).values():
+            try:
+                link.queue.put(frame)
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+
+    def _finalize(self) -> None:
+        m = self.metrics
+        m.busy_s = self.timeline.totals["busy"]
+        m.comm_s = self.timeline.totals["comm"]
+        m.idle_s = self.timeline.totals["idle"]
+        m.timeline = list(self.timeline.segments)
+        for dst, link in getattr(self, "links", {}).items():
+            if link.messages:
+                m.links[dst] = [link.messages, link.bytes]
+        m.messages_sent = sum(v[0] for v in m.links.values())
+        m.bytes_sent = sum(v[1] for v in m.links.values())
+
+
+def worker_main(rank: int, kwargs: dict) -> None:
+    """Process entry point (must be a module-level function for spawn)."""
+    Worker(rank, **kwargs).run()

@@ -9,6 +9,16 @@ in parallel" without touching the layer-by-layer API:
 >>> x = chol.solve(b)                                    # doctest: +SKIP
 >>> plan = chol.plan_parallel(P=64)                      # doctest: +SKIP
 >>> plan.mflops, plan.efficiency                         # doctest: +SKIP
+
+Execution backends: ``backend="sequential"`` factors in-process,
+``backend="threads"`` uses the shared-memory thread pool, and
+``backend="mp"`` runs the real message-passing runtime
+(:mod:`repro.runtime`) — worker processes own blocks under the chosen
+``mapping`` and exchange completed blocks as messages; per-worker metrics
+land in :attr:`SparseCholesky.runtime_metrics`:
+
+>>> chol = SparseCholesky(A, backend="mp", nprocs=4, mapping="DW/CY")  # doctest: +SKIP
+>>> chol.factor().runtime_metrics.measured_balance       # doctest: +SKIP
 """
 
 from __future__ import annotations
@@ -57,18 +67,43 @@ class SparseCholesky:
         ``"natural"``, or an explicit permutation array.
     block_size:
         Panel width B (default 48, the paper's choice).
+    backend:
+        ``"sequential"`` (default), ``"threads"`` (shared-memory thread
+        pool), or ``"mp"`` (real message-passing worker processes).
+    nprocs:
+        Worker count for the parallel backends.
+    mapping:
+        Block mapping for the ``"mp"`` backend: ``"cyclic"`` or a
+        ``"<row>/<col>"`` heuristic pair such as ``"DW/CY"``.
+    use_domains:
+        Apply the domain (subtree) portion of the method to the ``"mp"``
+        ownership, as :meth:`plan_parallel` does for the simulator.
     """
+
+    BACKENDS = ("sequential", "threads", "mp")
 
     def __init__(
         self,
         A: sparse.spmatrix,
         ordering: str | np.ndarray = "auto",
         block_size: int = 48,
+        backend: str = "sequential",
+        nprocs: int = 4,
+        mapping: str = "DW/CY",
+        use_domains: bool = False,
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
             raise ValueError("matrix must be square")
+        if backend not in self.BACKENDS:
+            raise KeyError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
         self.A = A
+        self.backend = backend
+        self.nprocs = nprocs
+        self.mapping = mapping
+        self.use_domains = use_domains
         perm = self._resolve_ordering(A, ordering)
         self.symbolic = symbolic_factor(A, perm)
         self.partition = BlockPartition(self.symbolic, block_size)
@@ -77,6 +112,8 @@ class SparseCholesky:
         self._taskgraph: TaskGraph | None = None
         self._numeric: BlockCholesky | None = None
         self._L: sparse.csc_matrix | None = None
+        #: Per-worker metrics of the last ``"mp"`` factorization.
+        self.runtime_metrics = None
 
     @staticmethod
     def _resolve_ordering(A, ordering):
@@ -106,8 +143,33 @@ class SparseCholesky:
         return self._taskgraph
 
     def factor(self) -> "SparseCholesky":
-        """Numerically factor; returns self for chaining."""
-        self._numeric = BlockCholesky(self.structure, self.symbolic.A).factor()
+        """Numerically factor with the configured backend; returns self."""
+        if self.backend == "sequential":
+            self._numeric = BlockCholesky(
+                self.structure, self.symbolic.A
+            ).factor()
+        elif self.backend == "threads":
+            from repro.numeric.parallel import parallel_block_cholesky
+
+            self._numeric = parallel_block_cholesky(
+                self.structure,
+                self.symbolic.A,
+                self.taskgraph,
+                nthreads=self.nprocs,
+            ).factor
+        else:  # "mp"
+            from repro.runtime import mp_block_cholesky
+
+            result = mp_block_cholesky(
+                self.structure,
+                self.symbolic.A,
+                self.taskgraph,
+                nprocs=self.nprocs,
+                mapping=self.mapping,
+                use_domains=self.use_domains,
+            )
+            self._numeric = result.factor
+            self.runtime_metrics = result.metrics
         self._L = self._numeric.to_csc()
         return self
 

@@ -1,0 +1,69 @@
+"""Thread-pool backend coverage across benchmark problems: identical
+factors for every thread count, and agreement with the sequential
+``BlockCholesky`` (ISSUE satellite: ``nthreads in {1, 2, 4}`` on at least
+two benchmark problems)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.pipeline import prepare_problem
+from repro.numeric import BlockCholesky
+from repro.numeric.parallel import parallel_block_cholesky
+
+#: Two benchmark problems of different character: a regular 2-D mesh and an
+#: irregular structural matrix.
+PROBLEMS = ("GRID150", "BCSSTK15")
+
+
+@pytest.fixture(scope="module", params=PROBLEMS)
+def prepared(request):
+    return prepare_problem(request.param, "small", 16)
+
+
+class TestThreadPoolAcrossProblems:
+    @pytest.mark.parametrize("nthreads", [1, 2, 4])
+    def test_reconstructs_benchmark_problem(self, prepared, nthreads):
+        res = parallel_block_cholesky(
+            prepared.structure, prepared.symbolic.A, prepared.taskgraph,
+            nthreads=nthreads,
+        )
+        L = res.to_csc()
+        assert abs(L @ L.T - prepared.symbolic.A).max() < 1e-8
+        assert res.tasks_executed == prepared.taskgraph.ntasks
+        assert res.nthreads == nthreads
+
+    def test_factors_identical_across_thread_counts(self, prepared):
+        factors = {
+            n: parallel_block_cholesky(
+                prepared.structure, prepared.symbolic.A, prepared.taskgraph,
+                nthreads=n,
+            ).to_csc()
+            for n in (1, 2, 4)
+        }
+        # The task set is fixed; only the order of exact subtractions into a
+        # block can vary, so results agree to rounding level.
+        assert abs(factors[1] - factors[2]).max() < 1e-9
+        assert abs(factors[1] - factors[4]).max() < 1e-9
+
+    def test_agrees_with_sequential_block_cholesky(self, prepared):
+        seq = BlockCholesky(
+            prepared.structure, prepared.symbolic.A
+        ).factor().to_csc()
+        for n in (1, 2, 4):
+            par = parallel_block_cholesky(
+                prepared.structure, prepared.symbolic.A, prepared.taskgraph,
+                nthreads=n,
+            ).to_csc()
+            assert abs(par - seq).max() < 1e-9
+
+    def test_solve_through_threaded_factor(self, prepared):
+        from repro.numeric import solve_with_factor
+
+        L = parallel_block_cholesky(
+            prepared.structure, prepared.symbolic.A, prepared.taskgraph,
+            nthreads=4,
+        ).to_csc()
+        n = prepared.problem.n
+        b = np.ones(n)
+        x = solve_with_factor(L, b, prepared.symbolic.ordering)
+        assert np.max(np.abs(prepared.problem.A @ x - b)) < 1e-8

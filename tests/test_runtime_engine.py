@@ -1,0 +1,244 @@
+"""The message-passing runtime end to end: correctness vs the sequential
+factorization, communication accounting vs the static predictor, load
+distribution vs the work model, and clean shutdown on worker failure."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.analysis.comm_volume import communication_volume
+from repro.mapping.balance import overall_balance_from_owners
+from repro.numeric import BlockCholesky
+from repro.runtime import (
+    WorkerError,
+    mp_block_cholesky,
+    plan_owners,
+    run_mp_fanout,
+    validate_runtime,
+)
+from repro.runtime.validation import ValidationError
+
+
+def _no_orphans():
+    for p in mp.active_children():
+        p.join(timeout=5)
+    return all(not p.is_alive() for p in mp.active_children())
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("mapping", ["cyclic", "DW/CY"])
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_matches_sequential_factor(self, grid12_pipeline, mapping, nprocs):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=nprocs, mapping=mapping)
+        L = res.to_csc()
+        seq = BlockCholesky(bs, sf.A).factor().to_csc()
+        assert abs(L @ L.T - sf.A).max() < 1e-10
+        assert abs(L - seq).max() < 1e-10
+        assert res.metrics.tasks_total == tg.ntasks
+
+    def test_single_worker(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=1, mapping="cyclic")
+        assert abs(res.to_csc() @ res.to_csc().T - sf.A).max() < 1e-10
+        assert res.metrics.messages_total == 0
+
+    def test_irregular_problem(self, random_spd_pipeline):
+        _, sf, _, bs, wm, tg = random_spd_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=4, mapping="ID/CY")
+        assert abs(res.to_csc() @ res.to_csc().T - sf.A).max() < 1e-9
+
+    def test_priority_policy(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(
+            bs, sf.A, tg, nprocs=2, mapping="DW/CY", policy="bottom_level"
+        )
+        assert abs(res.to_csc() @ res.to_csc().T - sf.A).max() < 1e-10
+
+    def test_domains_ownership(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(
+            bs, sf.A, tg, nprocs=4, mapping="DW/CY", use_domains=True
+        )
+        assert abs(res.to_csc() @ res.to_csc().T - sf.A).max() < 1e-10
+
+    def test_rejects_bad_arguments(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        owners, _ = plan_owners(wm, tg, 4, "cyclic")
+        with pytest.raises(ValueError):
+            run_mp_fanout(bs, sf.A, tg, owners[:-1], 4)
+        with pytest.raises(ValueError):
+            run_mp_fanout(bs, sf.A, tg, owners, 0)
+        with pytest.raises(ValueError):
+            run_mp_fanout(bs, sf.A, tg, owners, 2)  # owner 3 out of range
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("mapping", ["cyclic", "DW/CY"])
+    def test_messages_match_comm_volume(self, grid12_pipeline, mapping):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=4, mapping=mapping)
+        predicted = communication_volume(tg, res.owners)
+        assert res.metrics.messages_total == predicted.messages
+        assert res.metrics.bytes_total == predicted.bytes
+        # Link matrix carries the same totals, link by link.
+        assert res.metrics.link_matrix().sum() == predicted.messages
+
+    def test_work_matches_workmodel(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=4, mapping="DW/CY")
+        measured = np.array(
+            [w.work_executed for w in res.metrics.workers], dtype=np.int64
+        )
+        predicted = np.bincount(
+            res.owners, weights=wm.work, minlength=4
+        ).astype(np.int64)
+        np.testing.assert_array_equal(measured, predicted)
+        assert res.metrics.work_balance == pytest.approx(
+            overall_balance_from_owners(wm, res.owners, 4)
+        )
+
+    def test_dw_work_imbalance_not_worse_than_cyclic(self, grid12_pipeline):
+        """The paper's claim on real execution: the DW remap's measured
+        per-worker work distribution beats (or ties) cyclic."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        runs = {
+            m: mp_block_cholesky(bs, sf.A, tg, nprocs=4, mapping=m)
+            for m in ("cyclic", "DW/CY")
+        }
+        assert (
+            runs["DW/CY"].metrics.work_imbalance
+            <= runs["cyclic"].metrics.work_imbalance
+        )
+
+    def test_validation_harness_passes(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        rep = validate_runtime(
+            bs, sf.A, tg, nprocs=4, mapping="DW/CY", problem="grid12"
+        )
+        assert rep.ok
+        assert rep.messages_measured == rep.messages_predicted
+        assert "OK" in rep.summary()
+
+    def test_validation_harness_catches_lies(self, grid12_pipeline):
+        """Validating a result against ownership it did not run under must
+        fail the communication check."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=4, mapping="cyclic")
+        other, _ = plan_owners(wm, tg, 4, "DW/CY")
+        if communication_volume(tg, other).messages == \
+                communication_volume(tg, res.owners).messages:
+            pytest.skip("mappings coincide on this tiny problem")
+        res.owners = other
+        with pytest.raises(ValidationError):
+            validate_runtime(bs, sf.A, tg, result=res)
+
+    def test_metrics_timelines_recorded(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=2, mapping="cyclic")
+        for w in res.metrics.workers:
+            assert w.tasks_executed > 0
+            assert w.busy_s > 0
+            assert w.timeline, "timeline should be recorded by default"
+            cats = {seg[0] for seg in w.timeline}
+            assert cats <= {"busy", "comm", "idle"}
+        assert res.metrics.wall_s > 0
+        # Render and JSON never crash on real data.
+        res.metrics.render()
+        res.metrics.to_json()
+
+
+class TestShutdown:
+    def test_injected_worker_failure_raises_and_reaps(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        with pytest.raises(WorkerError, match="injected failure"):
+            mp_block_cholesky(
+                bs, sf.A, tg, nprocs=4, mapping="cyclic",
+                inject_failure=(1, 3), stall_timeout_s=10, timeout_s=60,
+            )
+        assert _no_orphans()
+
+    def test_numeric_failure_propagates_without_hang(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        bad = (sf.A - sparse.eye(sf.A.shape[0]) * 1e6).tocsc()
+        with pytest.raises(WorkerError, match="LinAlgError"):
+            mp_block_cholesky(
+                bs, bad, tg, nprocs=4, mapping="cyclic",
+                stall_timeout_s=10, timeout_s=60,
+            )
+        assert _no_orphans()
+
+    def test_success_leaves_no_orphans(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        mp_block_cholesky(bs, sf.A, tg, nprocs=2, mapping="cyclic")
+        assert _no_orphans()
+
+
+class TestSolverBackends:
+    @pytest.mark.parametrize("mapping", ["cyclic", "DW/CY"])
+    def test_mp_backend(self, mapping):
+        from repro.matrices import grid2d_matrix
+        from repro.solver import SparseCholesky
+
+        A = grid2d_matrix(12).A
+        chol = SparseCholesky(
+            A, block_size=8, backend="mp", nprocs=4, mapping=mapping
+        ).factor()
+        assert abs(chol.L @ chol.L.T - chol.symbolic.A).max() < 1e-10
+        assert chol.runtime_metrics is not None
+        assert chol.runtime_metrics.nprocs == 4
+        b = np.ones(A.shape[0])
+        assert np.max(np.abs(A @ chol.solve(b) - b)) < 1e-8
+
+    def test_threads_backend(self):
+        from repro.matrices import grid2d_matrix
+        from repro.solver import SparseCholesky
+
+        A = grid2d_matrix(12).A
+        chol = SparseCholesky(
+            A, block_size=8, backend="threads", nprocs=2
+        ).factor()
+        assert abs(chol.L @ chol.L.T - chol.symbolic.A).max() < 1e-10
+
+    def test_unknown_backend_rejected(self):
+        from repro.matrices import grid2d_matrix
+        from repro.solver import SparseCholesky
+
+        with pytest.raises(KeyError):
+            SparseCholesky(grid2d_matrix(8).A, backend="mpi")
+
+
+class TestBenchRealCLI:
+    def test_bench_real_reports(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "bench-real", "GRID150", "--scale", "small", "-p", "2",
+            "--mappings", "cyclic,DW/CY", "--validate",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wall clock" in out
+        assert "balance" in out
+        assert "measured" in out and "predicted" in out
+        assert "mapping comparison" in out
+        assert "validate" in out and "FAILED" not in out
+
+    def test_bench_real_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bench.json"
+        rc = main([
+            "bench-real", "GRID150", "--scale", "small", "-p", "2",
+            "--mappings", "DW/CY", "--json", str(path),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert "DW/CY" in payload
+        assert payload["DW/CY"]["nprocs"] == 2
+        assert payload["DW/CY"]["workers"]
