@@ -11,6 +11,11 @@ Commands
 ``bench-real <problem>``
     Execute the real multiprocess message-passing runtime and report the
     measured per-worker busy/idle/comm breakdown and load balance.
+``chaos <problem>``
+    Sweep deterministic fault-injection scenarios (crash, drop, duplicate,
+    corrupt, delay, slow) over the runtime and assert that every run
+    either recovers to the sequential factor or degrades cleanly to the
+    sequential backend with a populated failure report.
 ``experiment <name>``
     Run one paper experiment (table1..table7, figure1, prime_grids, ...).
 ``suite``
@@ -117,6 +122,7 @@ def cmd_bench_real(args) -> int:
         res = run_mp_fanout(
             prep.structure, prep.symbolic.A, prep.taskgraph, owners,
             args.nprocs, policy=policy, mapping=name,
+            timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
         )
         met = res.metrics
         met.problem = prep.name
@@ -161,6 +167,79 @@ def cmd_bench_real(args) -> int:
             json.dump(payload, fh, indent=2)
         print(f"metrics written to {args.json}")
     return 0
+
+
+#: Scenario sweep run by ``repro chaos --faults all``.
+_CHAOS_SWEEP = (
+    "none", "crash", "drop", "duplicate", "corrupt", "delay", "slow",
+)
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.experiments.pipeline import prepare_problem
+    from repro.numeric import BlockCholesky
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.recovery import run_with_recovery
+
+    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    A = prep.symbolic.A
+    seq = BlockCholesky(prep.structure, A).factor().to_csc()
+    names = (
+        list(_CHAOS_SWEEP) if args.faults == "all"
+        else [f.strip() for f in args.faults.split(",") if f.strip()]
+    )
+    procs = [int(p) for p in args.procs.split(",") if p.strip()]
+    failures = 0
+    payload = {}
+    print(f"chaos sweep on {prep.name} (seed={args.seed}, "
+          f"rate={args.rate}, scenarios={len(names)} x P={procs})")
+    for P in procs:
+        for name in names:
+            plan = FaultPlan.scenario(
+                name, seed=args.seed, rate=args.rate, rank=min(1, P - 1),
+            )
+            res = run_with_recovery(
+                prep.structure, A, prep.taskgraph, nprocs=P,
+                mapping=args.mapping, fault_plan=plan,
+                max_restarts=args.max_restarts,
+                timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
+                renegotiate_base_s=0.05, renegotiate_cap_s=0.5,
+                max_renegotiations=6, dead_grace_s=5.0,
+            )
+            rep = res.failure_report
+            L = res.to_csc()
+            diff = float(abs(L - seq).max())
+            resid = float(abs(L @ L.T - A).max())
+            ok = diff < 1e-8 and (rep.ok or rep.degraded)
+            if name == "none":
+                # A fault-free sweep entry must stay pristine: no faults
+                # fired, no recovery machinery engaged, no restarts.
+                ok = ok and rep.outcome == "clean" and \
+                    rep.recovery_events == 0 and not rep.faults_injected
+            failures += 0 if ok else 1
+            status = "ok" if ok else "FAIL"
+            print(f"  [{status}] P={P} fault={name:<10s} "
+                  f"outcome={rep.outcome:<20s} restarts={rep.restarts} "
+                  f"|dL|={diff:.1e} resid={resid:.1e} "
+                  f"events={rep.recovery_events} "
+                  f"injected={sum(rep.faults_injected.values())}")
+            if args.verbose and rep.attempts:
+                print("    " + rep.summary().replace("\n", "\n    "))
+            payload[f"P{P}:{name}"] = {
+                "ok": ok,
+                "factor_diff": diff,
+                "residual": resid,
+                "report": rep.to_dict(),
+            }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"chaos report written to {args.json}")
+    print(f"chaos sweep: {len(payload) - failures}/{len(payload)} scenarios "
+          f"{'ok' if failures == 0 else 'ok, ' + str(failures) + ' FAILED'}")
+    return 0 if failures == 0 else 1
 
 
 def cmd_analyze(args) -> int:
@@ -290,8 +369,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "models")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write per-mapping metrics JSON to PATH")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="S",
+                   help="global wall-clock deadline in seconds")
+    p.add_argument("--stall-timeout", type=float, default=30.0, metavar="S",
+                   help="per-worker no-progress watchdog in seconds")
     _add_common(p)
     p.set_defaults(fn=cmd_bench_real)
+
+    p = sub.add_parser(
+        "chaos",
+        help="sweep fault-injection scenarios over the runtime and check "
+             "recovery against the sequential factor",
+    )
+    p.add_argument("problem")
+    p.add_argument("-p", "--procs", default="2,4",
+                   help="comma-separated worker counts to sweep")
+    p.add_argument("--faults", default="all",
+                   help=f"comma-separated scenarios or 'all' "
+                        f"({','.join(_CHAOS_SWEEP)},crash-hard,"
+                        f"crash-persistent)")
+    p.add_argument("--rate", type=float, default=0.15,
+                   help="per-message fault probability for message faults")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (decisions are reproducible)")
+    p.add_argument("--mapping", default="DW/CY")
+    p.add_argument("--max-restarts", type=int, default=2,
+                   help="restart budget before the sequential fallback")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="global wall-clock deadline per run in seconds")
+    p.add_argument("--stall-timeout", type=float, default=15.0, metavar="S",
+                   help="per-worker no-progress watchdog in seconds")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the structured chaos report to PATH")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-attempt failure details")
+    _add_common(p)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("analyze", help="structure/memory/critical-path report")
     p.add_argument("problem")

@@ -11,45 +11,76 @@ wall-clock load distribution, and the validation harness pins the runtime
 against the sequential factorization, the static communication-volume
 predictor, and the work model.
 
-Layers: :mod:`~repro.runtime.wire` (block serialization),
+Layers: :mod:`~repro.runtime.wire` (block serialization, CRC32 integrity),
 :mod:`~repro.runtime.links` (the interconnect stand-in),
 :mod:`~repro.runtime.scheduler` (per-worker ready queues),
 :mod:`~repro.runtime.worker` (the event loop),
 :mod:`~repro.runtime.engine` (process orchestration),
+:mod:`~repro.runtime.faults` (deterministic chaos injection),
+:mod:`~repro.runtime.recovery` (checkpoint/restart + sequential fallback),
 :mod:`~repro.runtime.metrics` and :mod:`~repro.runtime.validation`.
 """
 
 from repro.runtime.engine import (
+    DeadWorkerError,
+    FanoutError,
     MPRuntimeResult,
+    RuntimeTimeoutError,
     WorkerError,
     mp_block_cholesky,
     plan_owners,
     run_mp_fanout,
 )
+from repro.runtime.faults import (
+    FAULT_CLASSES,
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    FaultyLink,
+)
 from repro.runtime.links import Link, LinkFabric
 from repro.runtime.metrics import RuntimeMetrics, WorkerMetrics
+from repro.runtime.recovery import (
+    FailedAttempt,
+    FailureReport,
+    run_with_recovery,
+)
 from repro.runtime.scheduler import ReadyScheduler
 from repro.runtime.validation import (
     ValidationError,
     ValidationReport,
     validate_runtime,
 )
+from repro.runtime.wire import CorruptFrameError, WireError
 from repro.runtime.worker import Worker, WorkerResult
 
 __all__ = [
+    "DeadWorkerError",
+    "FanoutError",
     "MPRuntimeResult",
+    "RuntimeTimeoutError",
     "WorkerError",
     "mp_block_cholesky",
     "plan_owners",
     "run_mp_fanout",
+    "FAULT_CLASSES",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyLink",
     "Link",
     "LinkFabric",
     "RuntimeMetrics",
     "WorkerMetrics",
+    "FailedAttempt",
+    "FailureReport",
+    "run_with_recovery",
     "ReadyScheduler",
     "ValidationError",
     "ValidationReport",
     "validate_runtime",
+    "CorruptFrameError",
+    "WireError",
     "Worker",
     "WorkerResult",
 ]

@@ -36,15 +36,39 @@ from repro.runtime.metrics import RuntimeMetrics, WorkerMetrics
 from repro.runtime.worker import worker_main
 
 
-class WorkerError(RuntimeError):
+class FanoutError(RuntimeError):
+    """A parallel run failed. Carries whatever the driver salvaged:
+    ``results`` (rank -> WorkerResult for every worker that reported) and
+    ``failed_ranks`` — the recovery layer mines these for checkpoints."""
+
+    def __init__(self, message: str, results: dict | None = None,
+                 failed_ranks: list[int] | None = None):
+        super().__init__(message)
+        self.results = results or {}
+        self.failed_ranks = failed_ranks or []
+
+
+class WorkerError(FanoutError):
     """A worker process failed; carries the remote traceback."""
 
-    def __init__(self, rank: int, remote_traceback: str):
+    def __init__(self, rank: int, remote_traceback: str,
+                 results: dict | None = None,
+                 failed_ranks: list[int] | None = None):
         super().__init__(
-            f"worker {rank} failed:\n{remote_traceback.rstrip()}"
+            f"worker {rank} failed:\n{remote_traceback.rstrip()}",
+            results=results,
+            failed_ranks=failed_ranks if failed_ranks is not None else [rank],
         )
         self.rank = rank
         self.remote_traceback = remote_traceback
+
+
+class DeadWorkerError(FanoutError):
+    """A worker process died without reporting (kill/segfault stand-in)."""
+
+
+class RuntimeTimeoutError(FanoutError):
+    """The run exceeded its global deadline."""
 
 
 @dataclass
@@ -56,6 +80,8 @@ class MPRuntimeResult:
     owners: np.ndarray
     mapping: str
     meta: dict = field(default_factory=dict)
+    #: Populated by :func:`repro.runtime.recovery.run_with_recovery`.
+    failure_report: object | None = None
 
     def to_csc(self) -> sparse.csc_matrix:
         return self.factor.to_csc()
@@ -103,6 +129,14 @@ def run_mp_fanout(
     record_timeline: bool = True,
     start_method: str | None = None,
     mapping: str = "",
+    fault_plan=None,
+    recovery: bool | None = None,
+    checkpoint: dict[int, bytes] | None = None,
+    dead_grace_s: float = 0.0,
+    renegotiate_base_s: float = 0.2,
+    renegotiate_cap_s: float = 2.0,
+    max_renegotiations: int = 8,
+    retransmit_limit: int = 5,
 ) -> MPRuntimeResult:
     """Factor ``A`` with ``nprocs`` worker processes exchanging messages.
 
@@ -111,9 +145,18 @@ def run_mp_fanout(
     ``"column"``, ``"depth"``, ``"bottom_level"``) applied identically on
     every worker; an explicit ``priorities`` array wins over ``policy``.
     ``inject_failure=(rank, after_n_tasks)`` is the fault-injection hook the
-    shutdown tests use. Raises :class:`WorkerError` if any worker fails and
-    :class:`RuntimeError` on a global timeout; in every case all child
-    processes are reaped before returning or raising.
+    shutdown tests use; ``fault_plan`` (:class:`repro.runtime.faults.FaultPlan`)
+    is the full chaos layer. ``recovery`` turns on the in-run integrity
+    protocol (CRC reject + NACK/retransmit + duplicate suppression + the
+    DONE linger barrier); it defaults to on exactly when a fault plan is
+    given. ``checkpoint`` maps block ids to completed-block wire frames
+    from a previous attempt; those blocks are preloaded and their tasks
+    skipped. Raises :class:`WorkerError` if any worker fails,
+    :class:`DeadWorkerError` if one dies without reporting (after waiting
+    up to ``dead_grace_s`` for surviving workers' checkpoints), and
+    :class:`RuntimeTimeoutError` on a global timeout; in every case all
+    child processes are reaped before returning or raising, and the raised
+    :class:`FanoutError` carries every salvaged ``WorkerResult``.
     """
     owners = np.asarray(owners)
     if owners.shape[0] != tg.nblocks:
@@ -124,6 +167,8 @@ def run_mp_fanout(
         raise ValueError("block owner out of range for nprocs")
     if priorities is None and policy not in (None, "fifo"):
         priorities = task_priorities(tg, policy, depth=depth)
+    if recovery is None:
+        recovery = fault_plan is not None
 
     if start_method is None:
         start_method = (
@@ -151,6 +196,13 @@ def run_mp_fanout(
             inject_failure=inject_failure,
             record_timeline=record_timeline,
             op_fixed_cost=op_fixed_cost,
+            fault_plan=fault_plan,
+            recovery=recovery,
+            checkpoint=checkpoint,
+            renegotiate_base_s=renegotiate_base_s,
+            renegotiate_cap_s=renegotiate_cap_s,
+            max_renegotiations=max_renegotiations,
+            retransmit_limit=retransmit_limit,
         )
         p = ctx.Process(
             target=worker_main, args=(rank, kwargs), name=f"repro-mp-{rank}"
@@ -161,27 +213,43 @@ def run_mp_fanout(
 
     results: dict[int, object] = {}
     deadline = time.monotonic() + timeout_s
+    dead_deadline: float | None = None
     try:
         while len(results) < nprocs:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                raise RuntimeError(
+                raise RuntimeTimeoutError(
                     f"runtime timeout after {timeout_s:.0f}s: "
-                    f"{len(results)}/{nprocs} workers reported"
+                    f"{len(results)}/{nprocs} workers reported",
+                    results=results,
+                    failed_ranks=[
+                        r for r in range(nprocs) if r not in results
+                    ],
                 )
             try:
                 res = result_queue.get(timeout=min(0.1, remaining))
                 results[res.rank] = res
             except queue_mod.Empty:
                 dead = [
-                    p.name for p in procs
+                    r for r, p in enumerate(procs)
                     if not p.is_alive() and p.exitcode not in (0, None)
+                    and r not in results
                 ]
                 if dead and len(results) < nprocs:
                     # A worker died without reporting (kill/segfault).
-                    raise RuntimeError(
-                        f"worker process(es) died without reporting: {dead}"
-                    )
+                    # Optionally linger so surviving workers can notice,
+                    # abort, and ship their completed-block checkpoints.
+                    now = time.monotonic()
+                    if dead_deadline is None:
+                        dead_deadline = now + dead_grace_s
+                    survivors_pending = nprocs - len(results) - len(dead)
+                    if now >= dead_deadline or survivors_pending <= 0:
+                        raise DeadWorkerError(
+                            "worker process(es) died without reporting: "
+                            f"{[f'repro-mp-{r}' for r in dead]}",
+                            results=results,
+                            failed_ranks=dead,
+                        )
         wall_s = time.perf_counter() - epoch
     finally:
         _reap(procs)
@@ -189,10 +257,17 @@ def run_mp_fanout(
         result_queue.cancel_join_thread()
         result_queue.close()
 
-    for rank in sorted(results):
-        err = results[rank].metrics.error
-        if err is not None:
-            raise WorkerError(rank, err)
+    error_ranks = [
+        r for r in sorted(results) if results[r].metrics.error is not None
+    ]
+    if error_ranks:
+        first = error_ranks[0]
+        raise WorkerError(
+            first,
+            results[first].metrics.error,
+            results=results,
+            failed_ranks=error_ranks,
+        )
 
     factor = _assemble(structure, A, tg, results)
     metrics = RuntimeMetrics(
@@ -206,7 +281,11 @@ def run_mp_fanout(
         metrics=metrics,
         owners=owners,
         mapping=mapping,
-        meta={"start_method": start_method},
+        meta={
+            "start_method": start_method,
+            "recovery": recovery,
+            "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
+        },
     )
 
 

@@ -1,0 +1,277 @@
+"""Deterministic fault injection for the message-passing runtime.
+
+A :class:`FaultPlan` describes *what goes wrong* in a run: worker crashes
+after the k-th task, message drop / duplication / delay (which reorders),
+bit-flip corruption of payload or header bytes, and slow-worker
+throttling. Every message-level decision is drawn from a counter-based RNG
+keyed on ``(seed, attempt, src, dst, block, occurrence)``, so a plan is
+fully reproducible from its seed: the same block's n-th transmission on a
+given link always suffers the same fate, independent of OS scheduling.
+
+Faults are injected at the ``links``/``worker`` boundary: each worker
+wraps its outgoing :class:`~repro.runtime.links.Link` objects in
+:class:`FaultyLink` (message faults) and consults :meth:`FaultPlan.crash_for`
+/ :attr:`FaultPlan.slow` in its event loop (process faults). Control
+frames (ABORT/NACK/DONE) are never faulted — the virtual interconnect's
+control plane is reliable, like a dedicated service network.
+
+Crash faults are *transient* by default: they fire on attempt 0 only, so a
+driver-level restart (:mod:`repro.runtime.recovery`) sees the fault
+disappear, exactly the scenario checkpoint/restart exists for. Set
+``every_attempt=True`` for a persistent fault that forces the sequential
+fallback.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.runtime import wire
+from repro.runtime.links import Link
+
+#: Message-fault classes, in the order their probabilities are drawn.
+MESSAGE_FAULTS = ("drop", "corrupt", "corrupt_header", "delay", "duplicate")
+
+#: Every fault class a plan can express (chaos sweeps iterate this).
+FAULT_CLASSES = ("crash", *MESSAGE_FAULTS, "slow")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Kill worker ``rank`` after it has executed ``after_tasks`` tasks.
+
+    ``hard`` crashes exit the process without reporting (a segfault
+    stand-in); soft crashes raise, so the worker ships its error and its
+    completed-block checkpoint home first. Transient crashes
+    (``every_attempt=False``, the default) fire only on attempt 0.
+    """
+
+    rank: int
+    after_tasks: int
+    hard: bool = False
+    every_attempt: bool = False
+
+    def applies(self, attempt: int) -> bool:
+        return self.every_attempt or attempt == 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable description of injected faults."""
+
+    seed: int = 0
+    attempt: int = 0
+    crash: tuple[CrashSpec, ...] = ()
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    corrupt_header: float = 0.0
+    delay: float = 0.0
+    #: A delayed frame is released after this many later sends on the link
+    #: (or at loop end via ``flush``), which reorders the stream.
+    delay_messages: int = 3
+    #: ``{rank: seconds}`` of extra sleep per executed task.
+    slow: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.crash
+            or self.slow
+            or any(getattr(self, f) > 0.0 for f in MESSAGE_FAULTS)
+        )
+
+    @property
+    def message_faults_active(self) -> bool:
+        return any(getattr(self, f) > 0.0 for f in MESSAGE_FAULTS)
+
+    def for_attempt(self, attempt: int) -> "FaultPlan":
+        """The plan as seen by restart ``attempt`` (transient crashes
+        filtered out; message faults re-keyed so retries see fresh but
+        still deterministic decisions)."""
+        return replace(
+            self,
+            attempt=attempt,
+            crash=tuple(c for c in self.crash if c.applies(attempt)),
+        )
+
+    def crash_for(self, rank: int) -> CrashSpec | None:
+        for spec in self.crash:
+            if spec.rank == rank:
+                return spec
+        return None
+
+    def slow_for(self, rank: int) -> float:
+        return float(self.slow.get(rank, 0.0))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["crash"] = [asdict(c) for c in self.crash]
+        d["slow"] = {str(k): v for k, v in self.slow.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        d = dict(d)
+        d["crash"] = tuple(
+            c if isinstance(c, CrashSpec) else CrashSpec(**c)
+            for c in d.get("crash", ())
+        )
+        d["slow"] = {int(k): float(v) for k, v in d.get("slow", {}).items()}
+        return cls(**d)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scenario(
+        cls,
+        name: str,
+        seed: int = 0,
+        rate: float = 0.1,
+        rank: int = 1,
+        after_tasks: int = 3,
+        slow_s: float = 0.002,
+    ) -> "FaultPlan":
+        """One named single-fault scenario (what ``repro chaos`` sweeps).
+
+        ``name`` is one of :data:`FAULT_CLASSES` plus ``"crash-hard"``,
+        ``"crash-persistent"`` and ``"none"``.
+        """
+        if name == "none":
+            return cls(seed=seed)
+        if name == "crash":
+            return cls(seed=seed, crash=(CrashSpec(rank, after_tasks),))
+        if name == "crash-hard":
+            return cls(
+                seed=seed, crash=(CrashSpec(rank, after_tasks, hard=True),)
+            )
+        if name == "crash-persistent":
+            return cls(
+                seed=seed,
+                crash=(CrashSpec(rank, after_tasks, every_attempt=True),),
+            )
+        if name == "slow":
+            return cls(seed=seed, slow={rank: slow_s})
+        if name in MESSAGE_FAULTS:
+            return cls(seed=seed, **{name: rate})
+        raise KeyError(
+            f"unknown fault scenario {name!r}; known: "
+            f"{', '.join(FAULT_CLASSES)}, crash-hard, crash-persistent, none"
+        )
+
+
+class FaultInjector:
+    """Per-worker fault state: wraps outgoing links, tallies injections."""
+
+    def __init__(self, plan: FaultPlan, rank: int):
+        self.plan = plan
+        self.rank = rank
+        self.injected = {f: 0 for f in FAULT_CLASSES}
+
+    def wrap_links(self, links: dict[int, Link]) -> dict[int, Link]:
+        """Replace each plain link with a fault-injecting one."""
+        if not self.plan.message_faults_active:
+            return links
+        return {
+            dst: FaultyLink(link.src, link.dst, link.queue, self)
+            for dst, link in links.items()
+        }
+
+
+class FaultyLink(Link):
+    """A :class:`Link` that applies the plan's message faults to data
+    frames. Control frames pass through untouched."""
+
+    __slots__ = ("injector", "_held", "_occurrence")
+
+    def __init__(self, src: int, dst: int, queue, injector: FaultInjector):
+        super().__init__(src, dst, queue)
+        self.injector = injector
+        #: Frames held back by delay faults: ``[frame, sends_remaining]``.
+        self._held: list[list] = []
+        self._occurrence: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _decisions(self, block: int) -> np.ndarray:
+        occ = self._occurrence.get(block, 0)
+        self._occurrence[block] = occ + 1
+        plan = self.injector.plan
+        rng = np.random.default_rng(
+            [plan.seed, plan.attempt, self.src, self.dst, block & 0x7FFFFFFF,
+             occ]
+        )
+        return rng.random(len(MESSAGE_FAULTS) + 1)
+
+    @staticmethod
+    def _flip_bit(frame: bytes, offset: int, bit: int) -> bytes:
+        buf = bytearray(frame)
+        buf[offset] ^= 1 << bit
+        return bytes(buf)
+
+    def send(self, frame: bytes) -> None:
+        if wire.frame_kind(frame) != wire.BLOCK:
+            super().send(frame)
+            return
+        plan = self.injector.plan
+        block = wire.frame_block(frame)
+        u = self._decisions(block)
+        duplicate = u[4] < plan.duplicate
+        if u[0] < plan.drop:
+            # The frame left the NIC (counted) but the fabric ate it.
+            self.injector.injected["drop"] += 1
+            self.messages += 1
+            self.bytes += len(frame)
+            self._tick_held()
+            return
+        if u[1] < plan.corrupt and len(frame) > wire.HEADER_BYTES:
+            self.injector.injected["corrupt"] += 1
+            span = len(frame) - wire.HEADER_BYTES
+            offset = wire.HEADER_BYTES + int(u[5] * span) % span
+            frame = self._flip_bit(frame, offset, int(u[5] * 8) % 8)
+        elif u[2] < plan.corrupt_header:
+            self.injector.injected["corrupt_header"] += 1
+            # Flip a bit inside the header prefix (fields 4..29).
+            offset = 4 + int(u[5] * 25) % 25
+            frame = self._flip_bit(frame, offset, int(u[5] * 8) % 8)
+        if u[3] < plan.delay:
+            self.injector.injected["delay"] += 1
+            self.messages += 1
+            self.bytes += len(frame)
+            self._held.append([frame, max(1, plan.delay_messages)])
+            if duplicate:
+                self.injector.injected["duplicate"] += 1
+                super().send(frame)
+            self._tick_held()
+            return
+        super().send(frame)
+        if duplicate:
+            self.injector.injected["duplicate"] += 1
+            super().send(frame)
+        self._tick_held()
+
+    def _tick_held(self) -> None:
+        due = []
+        for item in self._held:
+            item[1] -= 1
+            if item[1] <= 0:
+                due.append(item)
+        for item in due:
+            self._held.remove(item)
+            self.queue.put(item[0])
+
+    def flush(self) -> None:
+        """Deliver every delayed frame (called at worker loop end)."""
+        for frame, _ in self._held:
+            self.queue.put(frame)
+        self._held.clear()

@@ -13,9 +13,17 @@ from __future__ import annotations
 
 
 class Link:
-    """Directed ``src -> dst`` channel with traffic counters."""
+    """Directed ``src -> dst`` channel with traffic counters.
 
-    __slots__ = ("src", "dst", "queue", "messages", "bytes")
+    Data frames (:meth:`send`) and control frames (:meth:`send_control`)
+    are counted separately: the ``messages``/``bytes`` counters track only
+    block traffic, so they stay directly comparable to the static
+    communication-volume predictor even when the recovery protocol
+    exchanges NACK/DONE control frames on the side.
+    """
+
+    __slots__ = ("src", "dst", "queue", "messages", "bytes",
+                 "control_messages", "retransmits")
 
     def __init__(self, src: int, dst: int, queue):
         self.src = src
@@ -23,13 +31,31 @@ class Link:
         self.queue = queue
         self.messages = 0
         self.bytes = 0
+        self.control_messages = 0
+        self.retransmits = 0
 
     def send(self, frame: bytes) -> None:
-        """Put one wire frame on the link (never blocks: queues are
-        unbounded, buffered by a feeder thread)."""
+        """Put one data (block) frame on the link (never blocks: queues
+        are unbounded, buffered by a feeder thread)."""
         self.queue.put(frame)
         self.messages += 1
         self.bytes += len(frame)
+
+    def send_control(self, frame: bytes) -> None:
+        """Put one control frame (NACK/DONE/ABORT) on the link; counted
+        apart from data traffic."""
+        self.queue.put(frame)
+        self.control_messages += 1
+
+    def resend(self, frame: bytes) -> None:
+        """Retransmit a data frame (recovery path): real traffic, counted
+        both on the link and in the retransmit tally."""
+        self.send(frame)
+        self.retransmits += 1
+
+    def flush(self) -> None:
+        """Release any internally held frames (no-op on a plain link;
+        fault-injecting links override this to deliver delayed frames)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

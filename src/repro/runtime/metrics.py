@@ -69,6 +69,41 @@ class WorkerMetrics:
     timeline: list[tuple[str, float, float]] = field(default_factory=list)
     error: str | None = None
     aborted: bool = False
+    # ------------------------------------------------------------------
+    # Fault / integrity / recovery counters. All stay zero on a healthy
+    # run with no fault plan — the chaos suite asserts exactly that.
+    # ------------------------------------------------------------------
+    #: Control frames (NACK/DONE/ABORT) sent / received.
+    control_sent: int = 0
+    control_received: int = 0
+    #: Incoming frames rejected by the CRC32 / decode checks.
+    frames_rejected: int = 0
+    #: Incoming BLOCK frames ignored because the block was already applied.
+    duplicates_dropped: int = 0
+    #: NACK frames this worker emitted (corrupt reject + renegotiation).
+    nacks_sent: int = 0
+    #: NACK frames this worker received and served (or deferred).
+    nacks_received: int = 0
+    #: Data frames re-sent in response to a NACK.
+    retransmits: int = 0
+    #: Stall-triggered renegotiation rounds (exponential backoff).
+    renegotiations: int = 0
+    #: Blocks preloaded from a driver checkpoint instead of recomputed.
+    checkpoint_blocks_loaded: int = 0
+    #: Faults this worker's injector actually fired: ``{class: count}``.
+    faults_injected: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def recovery_events(self) -> int:
+        """Total integrity/recovery actions (0 on an undisturbed run)."""
+        return (
+            self.frames_rejected
+            + self.duplicates_dropped
+            + self.nacks_sent
+            + self.retransmits
+            + self.renegotiations
+            + self.checkpoint_blocks_loaded
+        )
 
     @property
     def span_s(self) -> float:
@@ -127,6 +162,31 @@ class RuntimeMetrics:
     def tasks_total(self) -> int:
         return int(sum(w.tasks_executed for w in self.workers))
 
+    @property
+    def retransmits_total(self) -> int:
+        return int(sum(w.retransmits for w in self.workers))
+
+    @property
+    def frames_rejected_total(self) -> int:
+        return int(sum(w.frames_rejected for w in self.workers))
+
+    @property
+    def duplicates_total(self) -> int:
+        return int(sum(w.duplicates_dropped for w in self.workers))
+
+    @property
+    def recovery_events_total(self) -> int:
+        """Sum of every worker's integrity/recovery actions."""
+        return int(sum(w.recovery_events for w in self.workers))
+
+    @property
+    def faults_injected_total(self) -> dict:
+        out: dict[str, int] = {}
+        for w in self.workers:
+            for k, v in w.faults_injected.items():
+                out[k] = out.get(k, 0) + int(v)
+        return out
+
     @staticmethod
     def _balance(values: np.ndarray) -> float:
         """``total / (P * max)`` — 1.0 is perfect, the paper's statistic."""
@@ -184,6 +244,13 @@ class RuntimeMetrics:
             "messages": self.messages_total,
             "bytes": self.bytes_total,
             "tasks": self.tasks_total,
+            "recovery": {
+                "events": self.recovery_events_total,
+                "retransmits": self.retransmits_total,
+                "frames_rejected": self.frames_rejected_total,
+                "duplicates_dropped": self.duplicates_total,
+                "faults_injected": self.faults_injected_total,
+            },
             "workers": [w.to_dict() for w in self.workers],
         }
 

@@ -22,6 +22,10 @@ class ReadyScheduler:
     ``priorities`` is the full per-task priority array (one value per task
     in the graph, lower runs first) or None for FIFO. Ties and FIFO order
     are broken by arrival sequence, making every discipline deterministic.
+
+    Pushes are idempotent: a task id already enqueued (ever) is silently
+    ignored, so redundant wakeups — duplicate frames, checkpoint replay
+    racing a late message — cannot execute a task twice.
     """
 
     def __init__(self, priorities: np.ndarray | None = None):
@@ -31,17 +35,23 @@ class ReadyScheduler:
         self._fifo: deque[int] = deque()
         self._heap: list[tuple[float, int, int]] = []
         self._seq = 0
+        self._seen: set[int] = set()
 
     @property
     def priority_mode(self) -> bool:
         return self._prio is not None
 
-    def push(self, tid: int) -> None:
+    def push(self, tid: int) -> bool:
+        """Enqueue ``tid``; returns False if it was already pushed once."""
+        if tid in self._seen:
+            return False
+        self._seen.add(tid)
         if self._prio is None:
             self._fifo.append(tid)
         else:
             heapq.heappush(self._heap, (float(self._prio[tid]), self._seq, tid))
         self._seq += 1
+        return True
 
     def pop(self) -> int:
         if self._prio is None:

@@ -48,6 +48,7 @@ class ValidationReport:
     bytes_predicted: int
     work_measured: np.ndarray
     work_predicted: np.ndarray
+    recovery_events: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -67,6 +68,7 @@ class ValidationReport:
             f"{self.bytes_predicted} predicted",
             f"  work match      : max |measured - predicted| = "
             f"{np.abs(self.work_measured - self.work_predicted).max():.0f}",
+            f"  recovery events : {self.recovery_events}",
         ]
         lines.extend(f"  FAIL: {f}" for f in self.failures)
         return "\n".join(lines)
@@ -83,6 +85,7 @@ def validate_runtime(
     strict: bool = True,
     problem: str = "",
     result: MPRuntimeResult | None = None,
+    faulty: bool = False,
     **runtime_kwargs,
 ) -> ValidationReport:
     """Run the message-passing runtime and check it against the models.
@@ -91,6 +94,13 @@ def validate_runtime(
     ``owners`` must come from the same task graph). With ``strict`` (the
     default), any mismatch raises :class:`ValidationError`; otherwise the
     failures are listed in the returned report.
+
+    ``faulty`` marks an execution that ran under fault injection: the
+    numeric checks still apply in full, but the exact message/byte/work
+    accounting checks are skipped (retransmits and checkpoint-skipped
+    tasks legitimately perturb them). Conversely, a run that is *not*
+    marked faulty must show zero integrity/recovery events — a healthy
+    interconnect never triggers the recovery machinery.
     """
     wm = tg.workmodel
     if result is None:
@@ -118,28 +128,36 @@ def validate_runtime(
         owners, weights=wm.work, minlength=nprocs
     ).astype(np.int64)
 
+    recovery_events = result.metrics.recovery_events_total
+
     failures: list[str] = []
     tol = max(tolerance, 10.0 * seq_residual)
     if not residual <= tol:
         failures.append(
             f"residual {residual:.3e} exceeds tolerance {tol:.3e}"
         )
-    if measured_msgs != predicted.messages:
-        failures.append(
-            f"measured {measured_msgs} messages, comm_volume predicted "
-            f"{predicted.messages}"
-        )
-    if measured_bytes != predicted.bytes:
-        failures.append(
-            f"measured {measured_bytes} bytes, comm_volume predicted "
-            f"{predicted.bytes}"
-        )
-    if not np.array_equal(work_measured, work_predicted):
-        failures.append(
-            "per-worker executed work differs from the WorkModel "
-            f"distribution by up to "
-            f"{np.abs(work_measured - work_predicted).max()}"
-        )
+    if not faulty:
+        if measured_msgs != predicted.messages:
+            failures.append(
+                f"measured {measured_msgs} messages, comm_volume predicted "
+                f"{predicted.messages}"
+            )
+        if measured_bytes != predicted.bytes:
+            failures.append(
+                f"measured {measured_bytes} bytes, comm_volume predicted "
+                f"{predicted.bytes}"
+            )
+        if not np.array_equal(work_measured, work_predicted):
+            failures.append(
+                "per-worker executed work differs from the WorkModel "
+                f"distribution by up to "
+                f"{np.abs(work_measured - work_predicted).max()}"
+            )
+        if recovery_events:
+            failures.append(
+                f"fault-free run triggered {recovery_events} "
+                "integrity/recovery events (expected zero)"
+            )
 
     report = ValidationReport(
         problem=problem,
@@ -154,6 +172,7 @@ def validate_runtime(
         bytes_predicted=predicted.bytes,
         work_measured=work_measured,
         work_predicted=work_predicted,
+        recovery_events=recovery_events,
         failures=failures,
     )
     if strict and failures:

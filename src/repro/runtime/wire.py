@@ -10,6 +10,13 @@ lower triangle (``w*(w+1)/2`` words — the only significant part of
 and predicted communication volume are therefore directly comparable,
 message for message and byte for byte.
 
+Integrity: the header carries a CRC32 over the header fields and the
+payload words. :func:`unpack` recomputes it, so a flipped bit anywhere in
+the frame is detected as :class:`CorruptFrameError` instead of silently
+landing in the factor. Malformed frames of any kind raise the typed
+:class:`WireError` (a :class:`ValueError`) — callers never see a raw
+``struct.error``.
+
 Frame kinds
 -----------
 ``BLOCK``
@@ -17,25 +24,58 @@ Frame kinds
     driver at shutdown). ``block`` is the global block index; ``rows`` /
     ``cols`` are the dense block shape.
 ``ABORT``
-    A worker hit an error; peers should stop promptly. Payload-free.
+    A worker hit an unrecoverable error; peers should stop promptly.
+    Payload-free.
+``NACK``
+    Recovery control: "please (re)send block ``block``" — emitted when a
+    receiver rejects a corrupt frame or renegotiates a block it is still
+    missing after a stall. Payload-free.
+``DONE``
+    Recovery control: the sender finished all of its tasks and is
+    lingering only to serve retransmits. Payload-free.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 #: Frame kinds.
-BLOCK, ABORT = 1, 2
+BLOCK, ABORT, NACK, DONE = 1, 2, 3, 4
 
-#: Wire header: magic, kind, src rank, block id, rows, cols, payload words.
-_HEADER = struct.Struct("<4sBiiiiq")
+#: Payload-free control kinds (never fault-injected, never CRC-protected
+#: payloads — there is no payload).
+CONTROL_KINDS = (ABORT, NACK, DONE)
+
+#: Wire header prefix: magic, kind, src rank, block id, rows, cols,
+#: payload words. The CRC32 field follows immediately after.
+_PREFIX = struct.Struct("<4sBiiiiq")
+_CRC = struct.Struct("<I")
 #: Fixed frame header size — matches ``MachineParams.header_bytes``.
 HEADER_BYTES = 64
-_MAGIC = b"RSB1"
-_PAD = b"\0" * (HEADER_BYTES - _HEADER.size)
+_MAGIC = b"RSB2"
+_PAD = b"\0" * (HEADER_BYTES - _PREFIX.size - _CRC.size)
+
+
+class WireError(ValueError):
+    """A frame could not be decoded (truncated, bad magic, bad shape)."""
+
+
+class CorruptFrameError(WireError):
+    """The frame parsed but its CRC32 check failed.
+
+    ``src`` and ``block`` carry the header's (best-effort, possibly
+    corrupted themselves) values so a receiver can NACK the presumed
+    sender for a retransmit.
+    """
+
+    def __init__(self, message: str, src: int = -1, block: int = -1):
+        super().__init__(message)
+        self.src = src
+        self.block = block
 
 
 @dataclass(frozen=True)
@@ -53,6 +93,15 @@ class WireMessage:
     def nbytes(self) -> int:
         words = 0 if self.payload is None else self.payload.size
         return HEADER_BYTES + 8 * words
+
+
+def _frame(kind: int, src: int, block: int, rows: int, cols: int,
+           payload: bytes = b"") -> bytes:
+    prefix = _PREFIX.pack(
+        _MAGIC, kind, src, block, rows, cols, len(payload) // 8
+    )
+    crc = zlib.crc32(payload, zlib.crc32(prefix))
+    return b"".join((prefix, _CRC.pack(crc), _PAD, payload))
 
 
 def pack_block(
@@ -73,32 +122,63 @@ def pack_block(
         words = arr[np.tril_indices(rows)]
     else:
         words = arr.ravel()
-    header = _HEADER.pack(
-        _MAGIC, BLOCK, src, block, rows, cols, words.shape[0]
-    )
-    return b"".join((header, _PAD, words.tobytes()))
+    return _frame(BLOCK, src, block, rows, cols, words.tobytes())
 
 
 def pack_abort(src: int) -> bytes:
     """Serialize a payload-free ABORT frame."""
-    return _HEADER.pack(_MAGIC, ABORT, src, -1, 0, 0, 0) + _PAD
+    return _frame(ABORT, src, -1, 0, 0)
 
 
-def unpack(frame: bytes) -> WireMessage:
+def pack_nack(src: int, block: int) -> bytes:
+    """Serialize a NACK: ``src`` asks the receiver to (re)send ``block``."""
+    return _frame(NACK, src, block, 0, 0)
+
+
+def pack_done(src: int) -> bytes:
+    """Serialize a DONE frame: ``src`` finished its own task list."""
+    return _frame(DONE, src, -1, 0, 0)
+
+
+def unpack(frame: bytes, verify: bool = True) -> WireMessage:
     """Decode one frame back into a :class:`WireMessage`.
 
     Diagonal payloads are unpacked from the packed triangle into a full
-    square array with an explicitly zero upper triangle.
+    square array with an explicitly zero upper triangle. Raises
+    :class:`WireError` on malformed input and :class:`CorruptFrameError`
+    when ``verify`` (the default) finds a CRC mismatch.
     """
     if len(frame) < HEADER_BYTES:
-        raise ValueError("frame shorter than the wire header")
-    magic, kind, src, block, rows, cols, nwords = _HEADER.unpack_from(frame)
+        raise WireError("frame shorter than the wire header")
+    try:
+        magic, kind, src, block, rows, cols, nwords = _PREFIX.unpack_from(
+            frame
+        )
+        (crc,) = _CRC.unpack_from(frame, _PREFIX.size)
+    except struct.error as exc:  # pragma: no cover - length checked above
+        raise WireError(f"undecodable frame header: {exc}") from exc
     if magic != _MAGIC:
-        raise ValueError(f"bad frame magic {magic!r}")
-    if kind == ABORT:
-        return WireMessage(ABORT, src, block, 0, 0, None)
+        raise WireError(f"bad frame magic {magic!r}")
+    if nwords < 0 or HEADER_BYTES + 8 * nwords > len(frame):
+        raise WireError(
+            f"frame truncated: header promises {nwords} payload words, "
+            f"{len(frame) - HEADER_BYTES} bytes follow"
+        )
+    if verify:
+        payload_bytes = frame[HEADER_BYTES : HEADER_BYTES + 8 * nwords]
+        expect = zlib.crc32(payload_bytes, zlib.crc32(frame[: _PREFIX.size]))
+        if crc != expect:
+            raise CorruptFrameError(
+                f"CRC mismatch on frame (kind={kind}, src={src}, "
+                f"block={block}): stored {crc:#010x}, "
+                f"computed {expect:#010x}",
+                src=src,
+                block=block,
+            )
+    if kind in CONTROL_KINDS:
+        return WireMessage(kind, src, block, 0, 0, None)
     if kind != BLOCK:
-        raise ValueError(f"unknown frame kind {kind}")
+        raise WireError(f"unknown frame kind {kind}")
     words = np.frombuffer(frame, dtype="<f8", count=nwords, offset=HEADER_BYTES)
     if nwords == rows * (rows + 1) // 2 and rows == cols and nwords != rows * cols:
         payload = np.zeros((rows, cols))
@@ -106,11 +186,25 @@ def unpack(frame: bytes) -> WireMessage:
     elif rows == cols and nwords == rows * cols == rows * (rows + 1) // 2:
         # 1x1 (and degenerate) diagonal blocks: triangle == full array.
         payload = words.reshape(rows, cols).copy()
-    elif nwords == rows * cols:
+    elif nwords == rows * cols and rows >= 0 and cols >= 0:
         payload = words.reshape(rows, cols).copy()
     else:
-        raise ValueError(
+        raise WireError(
             f"payload size {nwords} matches neither full ({rows}x{cols}) "
             "nor packed-triangular storage"
         )
     return WireMessage(BLOCK, src, block, rows, cols, payload)
+
+
+def frame_kind(frame: bytes) -> int:
+    """Cheap peek at a frame's kind byte without full decoding."""
+    if len(frame) <= 4:
+        raise WireError("frame shorter than the kind byte")
+    return frame[4]
+
+
+def frame_block(frame: bytes) -> int:
+    """Cheap peek at a frame's block id without full decoding."""
+    if len(frame) < _PREFIX.size:
+        raise WireError("frame shorter than the wire header prefix")
+    return int.from_bytes(frame[9:13], "little", signed=True)

@@ -16,10 +16,27 @@ destination it owns. Completions trigger real messages:
 A worker terminates when it has executed all its tasks; it then ships its
 factored blocks and metrics home on the result queue. On error it
 broadcasts ABORT frames so peers exit promptly instead of deadlocking.
+
+Fault tolerance (``recovery=True``, see :mod:`repro.runtime.faults` and
+:mod:`repro.runtime.recovery`):
+
+* every incoming frame is CRC-checked; corrupt frames are rejected and the
+  presumed sender NACKed for a retransmit;
+* duplicate block frames are suppressed idempotently (a block is applied
+  exactly once, no matter how often it arrives);
+* a worker that stops receiving messages it still needs *renegotiates*:
+  it NACKs the owners of its missing blocks under bounded exponential
+  backoff before giving up;
+* after finishing its own tasks a worker broadcasts DONE and lingers to
+  serve retransmit requests until every peer is done — so late NACKs
+  always find a living sender;
+* on abort/error the worker ships every completed block it holds as a
+  checkpoint, which the driver feeds to the restarted run.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import time
 import traceback
@@ -30,6 +47,7 @@ import numpy as np
 from repro.numeric.blockfact import BlockCholesky
 from repro.fanout.tasks import BDIV, BFAC, BMOD
 from repro.runtime import wire
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.metrics import TimelineRecorder, WorkerMetrics
 from repro.runtime.scheduler import ReadyScheduler
 
@@ -43,7 +61,8 @@ class _Abort(Exception):
 @dataclass
 class WorkerResult:
     """What a worker sends home: metrics plus its owned factor blocks
-    (wire frames; empty on error/abort)."""
+    (wire frames; on error/abort under recovery, the completed-block
+    checkpoint instead)."""
 
     rank: int
     metrics: WorkerMetrics
@@ -57,7 +76,7 @@ class Worker:
     ``structure`` and input matrix ``A`` (to scatter initial block data —
     the runtime's stand-in for the host distributing ``A``), the task graph
     ``tg``, the block ``owners`` array, an optional per-task priority
-    array, and failure-injection / watchdog knobs.
+    array, and failure-injection / recovery / watchdog knobs.
     """
 
     def __init__(
@@ -76,6 +95,13 @@ class Worker:
         inject_failure: tuple[int, int] | None = None,
         record_timeline: bool = True,
         op_fixed_cost: int = 1000,
+        fault_plan: FaultPlan | None = None,
+        recovery: bool = False,
+        checkpoint: dict[int, bytes] | None = None,
+        renegotiate_base_s: float = 0.2,
+        renegotiate_cap_s: float = 2.0,
+        max_renegotiations: int = 8,
+        retransmit_limit: int = 5,
     ):
         self.rank = rank
         self.structure = structure
@@ -90,6 +116,13 @@ class Worker:
         self.stall_timeout_s = stall_timeout_s
         self.inject_failure = inject_failure
         self.op_fixed_cost = op_fixed_cost
+        self.fault_plan = fault_plan
+        self.recovery = recovery
+        self.checkpoint = checkpoint or {}
+        self.renegotiate_base_s = renegotiate_base_s
+        self.renegotiate_cap_s = renegotiate_cap_s
+        self.max_renegotiations = max_renegotiations
+        self.retransmit_limit = retransmit_limit
         self.metrics = WorkerMetrics(rank=rank)
         self.timeline = TimelineRecorder(enabled=record_timeline)
 
@@ -99,13 +132,14 @@ class Worker:
         try:
             self._setup()
             self._loop()
+            self._linger()
             frames = self._gather_frames()
         except _Abort:
             self.metrics.aborted = True
-            frames = []
+            frames = self._checkpoint_frames() if self.recovery else []
         except BaseException:  # noqa: BLE001 - reported to the driver
             self.metrics.error = traceback.format_exc()
-            frames = []
+            frames = self._checkpoint_frames() if self.recovery else []
             self._broadcast_abort()
         self._finalize()
         self.result_queue.put(WorkerResult(self.rank, self.metrics, frames))
@@ -120,6 +154,14 @@ class Worker:
         self.chol = BlockCholesky(self.structure, self.A)
         self.inbox = self.fabric.inbox(self.rank)
         self.links = self.fabric.outgoing(self.rank)
+        self.injector = None
+        if self.fault_plan is not None and self.fault_plan.active:
+            self.injector = FaultInjector(self.fault_plan, self.rank)
+            self.links = self.injector.wrap_links(self.links)
+        self._crash_after, self._crash_hard = self._crash_config()
+        self._slow_s = (
+            self.fault_plan.slow_for(self.rank) if self.fault_plan else 0.0
+        )
         self.task_owner = self.owners[tg.task_block]
         self.mine = self.task_owner == self.rank
         self.n_owned = int(self.mine.sum())
@@ -128,11 +170,82 @@ class Worker:
         self.missing = tg.task_missing_init.copy()
         self.diag_ready = np.zeros(tg.nblocks, dtype=bool)
         self.scheduler = ReadyScheduler(self.priorities)
+        #: Blocks whose final factored value is present locally (owned
+        #: completions, received frames, checkpoint preloads). Drives both
+        #: duplicate suppression and the abort-time checkpoint.
+        self.have: set[int] = set()
+        self.done_peers: set[int] = set()
+        self._resends: dict[tuple[int, int], int] = {}
+        self._reneg_attempts = 0
+        self._last_reneg = 0.0
+        # Checkpointed blocks are final: skip every task that writes them.
+        done_block = np.zeros(tg.nblocks, dtype=bool)
+        valid_ck = [
+            int(b) for b in self.checkpoint if 0 <= int(b) < tg.nblocks
+        ]
+        done_block[valid_ck] = True
+        self.skip_task = done_block[tg.task_block]
+        self.executed += int((self.mine & self.skip_task).sum())
         # Seed: owned diagonal blocks with no incoming BMODs.
         diag = tg.block_I == tg.block_J
         for b in np.flatnonzero(diag & (tg.nmod == 0)):
             if self.owners[b] == self.rank:
-                self.scheduler.push(int(tg.bfac_task[int(b)]))
+                self._push(int(tg.bfac_task[int(b)]))
+        self._load_checkpoint(valid_ck)
+        self.expected = self._expected_blocks() if self.recovery else set()
+
+    def _crash_config(self) -> tuple[int | None, bool]:
+        if (
+            self.inject_failure is not None
+            and self.rank == self.inject_failure[0]
+        ):
+            return int(self.inject_failure[1]), False
+        if self.fault_plan is not None:
+            spec = self.fault_plan.crash_for(self.rank)
+            if spec is not None:
+                return int(spec.after_tasks), bool(spec.hard)
+        return None, False
+
+    def _load_checkpoint(self, blocks: list[int]) -> None:
+        """Preload final block values snapshotted by a previous attempt."""
+        tg = self.tg
+        for b in blocks:
+            msg = wire.unpack(self.checkpoint[b])
+            I, J = int(tg.block_I[b]), int(tg.block_J[b])
+            self.have.add(b)
+            self.metrics.checkpoint_blocks_loaded += 1
+            if I == J:
+                self.chol.diag[J] = msg.payload
+                self.chol._factored[J] = True
+                self._diag_completed(J)
+            else:
+                self.chol.below[J][I] = msg.payload
+                self._subdiag_completed(b)
+
+    def _expected_blocks(self) -> set[int]:
+        """Remote blocks this worker still needs to receive."""
+        tg = self.tg
+        expected: set[int] = set()
+        diag = tg.block_I == tg.block_J
+        diag_of_panel = np.full(tg.npanels, -1, dtype=np.int64)
+        diag_ids = np.flatnonzero(diag)
+        diag_of_panel[tg.block_J[diag_ids]] = diag_ids
+        own_sub = np.flatnonzero((self.owners == self.rank) & ~diag)
+        d = diag_of_panel[tg.block_J[own_sub]]
+        d = d[d >= 0]
+        expected.update(int(x) for x in d[self.owners[d] != self.rank])
+        mod_mine = (tg.task_kind == BMOD) & self.mine
+        for src in (tg.task_src1, tg.task_src2):
+            s = src[mod_mine]
+            s = s[s >= 0]
+            expected.update(int(x) for x in s[self.owners[s] != self.rank])
+        return expected - self.have
+
+    def _push(self, tid: int) -> None:
+        """Schedule a task unless a checkpoint already supplies its output
+        (the scheduler additionally dedups repeat pushes)."""
+        if not self.skip_task[tid]:
+            self.scheduler.push(tid)
 
     def _now(self) -> float:
         return time.perf_counter() - self.epoch
@@ -147,14 +260,18 @@ class Worker:
                 progressed = True
             elif not progressed:
                 progressed = self._wait_for_message()
+            now = self._now()
             if progressed:
-                last_progress = self._now()
-            elif self._now() - last_progress > self.stall_timeout_s:
+                last_progress = now
+                self._reneg_attempts = 0
+            elif now - last_progress > self.stall_timeout_s:
                 raise RuntimeError(
                     f"worker {self.rank} stalled: {self.executed}/"
                     f"{self.n_owned} tasks done, no messages for "
                     f"{self.stall_timeout_s:.0f}s (deadlock?)"
                 )
+            elif self.recovery and self.expected:
+                self._maybe_renegotiate(now, last_progress)
 
     # ------------------------------------------------------------------
     # Receiving
@@ -166,8 +283,7 @@ class Worker:
                 frame = self.inbox.get_nowait()
             except queue_mod.Empty:
                 return got
-            self._handle_frame(frame)
-            got = True
+            got = self._handle_frame(frame) or got
 
     def _wait_for_message(self) -> bool:
         t0 = self._now()
@@ -177,18 +293,66 @@ class Worker:
             self.timeline.add("idle", t0, self._now())
             return False
         self.timeline.add("idle", t0, self._now())
-        self._handle_frame(frame)
+        return self._handle_frame(frame)
+
+    def _handle_frame(self, frame: bytes) -> bool:
+        """Process one incoming frame; returns True if it made progress
+        (i.e. could unblock a task)."""
+        t0 = self._now()
+        m = self.metrics
+        try:
+            msg = wire.unpack(frame)
+        except wire.CorruptFrameError as exc:
+            m.frames_rejected += 1
+            if not self.recovery:
+                raise RuntimeError(
+                    f"worker {self.rank} rejected a corrupt frame "
+                    f"(no recovery enabled): {exc}"
+                ) from exc
+            self._nack_corrupt(exc)
+            self.timeline.add("comm", t0, self._now())
+            return False
+        except wire.WireError as exc:
+            m.frames_rejected += 1
+            if not self.recovery:
+                raise RuntimeError(
+                    f"worker {self.rank} received an undecodable frame "
+                    f"(no recovery enabled): {exc}"
+                ) from exc
+            # Unattributable garbage: drop it; renegotiation re-requests
+            # whatever it was supposed to carry.
+            self.timeline.add("comm", t0, self._now())
+            return False
+        if msg.kind == wire.ABORT:
+            m.control_received += 1
+            raise _Abort()
+        if msg.kind == wire.DONE:
+            m.control_received += 1
+            self.done_peers.add(msg.src)
+            self.timeline.add("comm", t0, self._now())
+            return True
+        if msg.kind == wire.NACK:
+            m.control_received += 1
+            m.nacks_received += 1
+            self._serve_nack(msg)
+            self.timeline.add("comm", t0, self._now())
+            return False
+        m.messages_received += 1
+        m.bytes_received += len(frame)
+        b = msg.block
+        if b in self.have:
+            m.duplicates_dropped += 1
+            self.timeline.add("comm", t0, self._now())
+            return False
+        self._apply_block(msg)
+        self.timeline.add("comm", t0, self._now())
         return True
 
-    def _handle_frame(self, frame: bytes) -> None:
-        t0 = self._now()
-        msg = wire.unpack(frame)
-        if msg.kind == wire.ABORT:
-            raise _Abort()
-        self.metrics.messages_received += 1
-        self.metrics.bytes_received += len(frame)
+    def _apply_block(self, msg: wire.WireMessage) -> None:
         tg = self.tg
         b = msg.block
+        self.have.add(b)
+        self.expected.discard(b)
         I, J = int(tg.block_I[b]), int(tg.block_J[b])
         if I == J:
             self.chol.diag[J] = msg.payload
@@ -197,7 +361,89 @@ class Worker:
         else:
             self.chol.below[J][I] = msg.payload
             self._subdiag_completed(b)
-        self.timeline.add("comm", t0, self._now())
+
+    # ------------------------------------------------------------------
+    # Recovery protocol
+    # ------------------------------------------------------------------
+    def _nack_corrupt(self, exc: wire.CorruptFrameError) -> None:
+        """Reject-and-renegotiate: ask the presumed sender to retransmit."""
+        src, b = exc.src, exc.block
+        target = -1
+        if 0 <= src < self.fabric.nprocs and src != self.rank:
+            target = src
+        elif 0 <= b < self.tg.nblocks:
+            owner = int(self.owners[b])
+            if owner != self.rank:
+                target = owner
+        if target >= 0 and 0 <= b < self.tg.nblocks:
+            self.links[target].send_control(wire.pack_nack(self.rank, b))
+            self.metrics.nacks_sent += 1
+
+    def _serve_nack(self, msg: wire.WireMessage) -> None:
+        """A peer wants block ``msg.block`` (again). Resend if we hold its
+        final value; otherwise the normal fan-out will deliver it once it
+        completes."""
+        b, requester = msg.block, msg.src
+        if not (0 <= b < self.tg.nblocks) or requester == self.rank:
+            return
+        if requester not in self.links or b not in self.have:
+            return
+        key = (b, requester)
+        if self._resends.get(key, 0) >= self.retransmit_limit:
+            return
+        self._resends[key] = self._resends.get(key, 0) + 1
+        self.links[requester].resend(self._frame_for(b))
+        self.metrics.retransmits += 1
+
+    def _maybe_renegotiate(self, now: float, last_progress: float) -> None:
+        """NACK owners of still-missing blocks under exponential backoff."""
+        delay = min(
+            self.renegotiate_base_s * (2.0 ** self._reneg_attempts),
+            self.renegotiate_cap_s,
+        )
+        if now - max(last_progress, self._last_reneg) <= delay:
+            return
+        if self._reneg_attempts >= self.max_renegotiations:
+            missing = sorted(self.expected)[:8]
+            raise RuntimeError(
+                f"worker {self.rank} unrecoverable: "
+                f"{len(self.expected)} blocks still missing after "
+                f"{self._reneg_attempts} renegotiations "
+                f"(e.g. blocks {missing})"
+            )
+        self._reneg_attempts += 1
+        self._last_reneg = now
+        self.metrics.renegotiations += 1
+        for b in sorted(self.expected):
+            owner = int(self.owners[b])
+            if owner == self.rank or owner not in self.links:
+                continue
+            self.links[owner].send_control(wire.pack_nack(self.rank, b))
+            self.metrics.nacks_sent += 1
+
+    def _linger(self) -> None:
+        """After finishing own tasks under recovery: release delayed
+        frames, broadcast DONE, and keep serving retransmits until every
+        peer is done too (so no NACK ever targets a dead sender)."""
+        if not self.recovery or not self.links:
+            return
+        for link in self.links.values():
+            link.flush()
+        done = wire.pack_done(self.rank)
+        for link in self.links.values():
+            link.send_control(done)
+        peers = set(self.links)
+        last_activity = self._now()
+        while not peers <= self.done_peers:
+            if self._wait_for_message():
+                last_activity = self._now()
+            elif self._now() - last_activity > self.stall_timeout_s:
+                waiting = sorted(peers - self.done_peers)
+                raise RuntimeError(
+                    f"worker {self.rank} finished but peers {waiting} "
+                    f"never reported DONE within "
+                    f"{self.stall_timeout_s:.0f}s"
+                )
 
     # ------------------------------------------------------------------
     # Dependency bookkeeping (local mirror of the simulator's)
@@ -212,7 +458,7 @@ class Worker:
                 continue
             self.diag_ready[b] = True
             if self.mods_remaining[b] == 0:
-                self.scheduler.push(int(tg.bdiv_task[b]))
+                self._push(int(tg.bdiv_task[b]))
 
     def _subdiag_completed(self, b: int) -> None:
         """``L_IK`` is available here; decrement owned consumer BMODs."""
@@ -223,14 +469,14 @@ class Worker:
                 continue
             self.missing[t] -= 1
             if self.missing[t] == 0:
-                self.scheduler.push(t)
+                self._push(t)
 
     def _block_mods_done(self, b: int) -> None:
         tg = self.tg
         if tg.block_I[b] == tg.block_J[b]:
-            self.scheduler.push(int(tg.bfac_task[b]))
+            self._push(int(tg.bfac_task[b]))
         elif self.diag_ready[b]:
-            self.scheduler.push(int(tg.bdiv_task[b]))
+            self._push(int(tg.bdiv_task[b]))
 
     # ------------------------------------------------------------------
     # Executing and fanning out
@@ -251,11 +497,15 @@ class Worker:
         m.flops_executed += flops
         m.work_executed += flops + self.op_fixed_cost
         self.executed += 1
-        if (
-            self.inject_failure is not None
-            and self.rank == self.inject_failure[0]
-            and self.executed >= self.inject_failure[1]
-        ):
+        if self._slow_s > 0.0:
+            if self.injector is not None:
+                self.injector.injected["slow"] += 1
+            time.sleep(self._slow_s)
+        if self._crash_after is not None and self.executed >= self._crash_after:
+            if self._crash_hard:
+                # A stand-in for a segfault/OOM kill: vanish without
+                # reporting. The driver notices the dead child.
+                os._exit(17)
             raise RuntimeError(
                 f"injected failure on worker {self.rank} after "
                 f"{self.executed} tasks"
@@ -266,11 +516,13 @@ class Worker:
             if self.mods_remaining[b] == 0:
                 self._block_mods_done(b)
         elif kind == BFAC:
+            self.have.add(b)
             k = int(tg.block_J[b])
             sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
             self._fan_out(b, self.owners[sub])
             self._diag_completed(k)
         else:  # BDIV
+            self.have.add(b)
             deps = tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]
             self._fan_out(b, self.task_owner[deps])
             self._subdiag_completed(b)
@@ -302,11 +554,19 @@ class Worker:
             for b in np.flatnonzero(self.owners == self.rank)
         ]
 
+    def _checkpoint_frames(self) -> list[bytes]:
+        """Frames for every *completed* block held locally — the snapshot
+        a restarted attempt resumes from. Safe on partially-initialized
+        workers."""
+        if not hasattr(self, "chol"):
+            return []
+        return [self._frame_for(b) for b in sorted(self.have)]
+
     def _broadcast_abort(self) -> None:
         frame = wire.pack_abort(self.rank)
         for link in getattr(self, "links", {}).values():
             try:
-                link.queue.put(frame)
+                link.send_control(frame)
             except Exception:  # pragma: no cover - peer already gone
                 pass
 
@@ -319,8 +579,14 @@ class Worker:
         for dst, link in getattr(self, "links", {}).items():
             if link.messages:
                 m.links[dst] = [link.messages, link.bytes]
+            m.control_sent += link.control_messages
         m.messages_sent = sum(v[0] for v in m.links.values())
         m.bytes_sent = sum(v[1] for v in m.links.values())
+        injector = getattr(self, "injector", None)
+        if injector is not None:
+            m.faults_injected = {
+                k: v for k, v in injector.injected.items() if v
+            }
 
 
 def worker_main(rank: int, kwargs: dict) -> None:

@@ -78,6 +78,14 @@ class SparseCholesky:
     use_domains:
         Apply the domain (subtree) portion of the method to the ``"mp"``
         ownership, as :meth:`plan_parallel` does for the simulator.
+    fault_plan:
+        A :class:`repro.runtime.faults.FaultPlan` (or its dict/JSON form)
+        for the ``"mp"`` backend. When given, the factorization runs under
+        the chaos layer with integrity checking, bounded restart, and the
+        sequential fallback; the structured outcome lands in
+        :attr:`failure_report`.
+    max_restarts:
+        Restart budget for the recovery path (``"mp"`` backend only).
     """
 
     BACKENDS = ("sequential", "threads", "mp")
@@ -91,6 +99,8 @@ class SparseCholesky:
         nprocs: int = 4,
         mapping: str = "DW/CY",
         use_domains: bool = False,
+        fault_plan=None,
+        max_restarts: int = 2,
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
@@ -104,6 +114,19 @@ class SparseCholesky:
         self.nprocs = nprocs
         self.mapping = mapping
         self.use_domains = use_domains
+        if isinstance(fault_plan, str):
+            from repro.runtime.faults import FaultPlan
+
+            fault_plan = FaultPlan.from_json(fault_plan)
+        elif isinstance(fault_plan, dict):
+            from repro.runtime.faults import FaultPlan
+
+            fault_plan = FaultPlan.from_dict(fault_plan)
+        self.fault_plan = fault_plan
+        self.max_restarts = max_restarts
+        #: Structured recovery outcome of the last ``"mp"`` factorization
+        #: run under a fault plan (None otherwise).
+        self.failure_report = None
         perm = self._resolve_ordering(A, ordering)
         self.symbolic = symbolic_factor(A, perm)
         self.partition = BlockPartition(self.symbolic, block_size)
@@ -158,16 +181,31 @@ class SparseCholesky:
                 nthreads=self.nprocs,
             ).factor
         else:  # "mp"
-            from repro.runtime import mp_block_cholesky
+            if self.fault_plan is not None:
+                from repro.runtime.recovery import run_with_recovery
 
-            result = mp_block_cholesky(
-                self.structure,
-                self.symbolic.A,
-                self.taskgraph,
-                nprocs=self.nprocs,
-                mapping=self.mapping,
-                use_domains=self.use_domains,
-            )
+                result = run_with_recovery(
+                    self.structure,
+                    self.symbolic.A,
+                    self.taskgraph,
+                    nprocs=self.nprocs,
+                    mapping=self.mapping,
+                    use_domains=self.use_domains,
+                    fault_plan=self.fault_plan,
+                    max_restarts=self.max_restarts,
+                )
+                self.failure_report = result.failure_report
+            else:
+                from repro.runtime import mp_block_cholesky
+
+                result = mp_block_cholesky(
+                    self.structure,
+                    self.symbolic.A,
+                    self.taskgraph,
+                    nprocs=self.nprocs,
+                    mapping=self.mapping,
+                    use_domains=self.use_domains,
+                )
             self._numeric = result.factor
             self.runtime_metrics = result.metrics
         self._L = self._numeric.to_csc()

@@ -175,6 +175,44 @@ class TestShutdown:
         mp_block_cholesky(bs, sf.A, tg, nprocs=2, mapping="cyclic")
         assert _no_orphans()
 
+    def test_worker_error_ships_remote_traceback(self, grid12_pipeline):
+        """The driver's exception carries the failing worker's full remote
+        traceback, its rank, and the original error text — enough to debug
+        without attaching to a child process."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        with pytest.raises(WorkerError) as info:
+            mp_block_cholesky(
+                bs, sf.A, tg, nprocs=4, mapping="cyclic",
+                inject_failure=(2, 3), stall_timeout_s=10, timeout_s=60,
+            )
+        exc = info.value
+        text = str(exc)
+        assert "Traceback (most recent call last)" in text
+        assert "injected failure on worker 2" in text
+        assert exc.rank == 2
+        assert exc.failed_ranks == [2]
+        assert _no_orphans()
+
+    def test_abort_fans_out_to_all_peers(self, grid12_pipeline):
+        """One failing worker ABORTs the others: every surviving rank
+        still reports home (results salvaged on the exception) and at
+        least one of them saw the ABORT control frame."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        with pytest.raises(WorkerError) as info:
+            mp_block_cholesky(
+                bs, sf.A, tg, nprocs=4, mapping="cyclic",
+                inject_failure=(1, 3), stall_timeout_s=10, timeout_s=60,
+            )
+        exc = info.value
+        assert set(exc.results) == {0, 1, 2, 3}
+        survivors = [r for rank, r in exc.results.items() if rank != 1]
+        assert any(
+            r.metrics.aborted or r.metrics.tasks_executed
+            for r in survivors
+        )
+        assert exc.results[1].metrics.error is not None
+        assert _no_orphans()
+
 
 class TestSolverBackends:
     @pytest.mark.parametrize("mapping", ["cyclic", "DW/CY"])
@@ -242,3 +280,17 @@ class TestBenchRealCLI:
         assert "DW/CY" in payload
         assert payload["DW/CY"]["nprocs"] == 2
         assert payload["DW/CY"]["workers"]
+
+    def test_bench_real_timeout_flags(self, capsys):
+        """--timeout / --stall-timeout reach the runtime watchdogs; ample
+        values leave a healthy run untouched."""
+        from repro.cli import main
+
+        rc = main([
+            "bench-real", "GRID150", "--scale", "small", "-p", "2",
+            "--mappings", "DW/CY",
+            "--timeout", "120", "--stall-timeout", "20",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wall clock" in out
