@@ -27,16 +27,25 @@ DEFAULT_NPROCS = (2, 4)
 MAPPINGS = ("cyclic", "DW/CY")
 
 
-def bench_one(prep, nprocs: int, mapping: str, repeats: int) -> dict:
+def bench_one(
+    prep, nprocs: int, mapping: str, repeats: int, trace_out: str | None = None
+) -> dict:
     owners, name = plan_owners(prep.workmodel, prep.taskgraph, nprocs, mapping)
     best = None
     for _ in range(repeats):
         res = run_mp_fanout(
             prep.structure, prep.symbolic.A, prep.taskgraph, owners, nprocs,
-            mapping=name, record_timeline=False,
+            mapping=name, record_timeline=False, trace=bool(trace_out),
         )
         if best is None or res.metrics.wall_s < best.metrics.wall_s:
             best = res
+    if trace_out and best.trace is not None:
+        slug = f"{prep.name}.p{nprocs}.{name.replace('/', '-').lower()}"
+        root, dot, ext = trace_out.rpartition(".")
+        path = f"{root}.{slug}.{ext}" if dot else f"{trace_out}.{slug}"
+        best.trace.meta["problem"] = prep.name
+        best.trace.dump(path)
+        print(f"  trace written to {path}")
     met = best.metrics
     L = best.to_csc()
     residual = float(abs(L @ L.T - prep.symbolic.A).max())
@@ -68,6 +77,10 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     ))
+    ap.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="also record structured traces (best run per "
+                         "configuration), named PATH with a "
+                         "problem/P/mapping slug inserted")
     args = ap.parse_args(argv)
 
     problems = [p.strip() for p in args.problems.split(",") if p.strip()]
@@ -92,7 +105,10 @@ def main(argv=None) -> int:
         }
         for nprocs in nprocs_list:
             for mapping in MAPPINGS:
-                r = bench_one(prep, nprocs, mapping, args.repeats)
+                r = bench_one(
+                    prep, nprocs, mapping, args.repeats,
+                    trace_out=args.trace_out,
+                )
                 entry["results"].append(r)
                 print(
                     f"{prep.name:<10s} P={nprocs} {r['mapping']:<8s} "

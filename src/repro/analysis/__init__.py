@@ -9,6 +9,13 @@ subtree-to-subcube mappings.
 from repro.analysis.critical_path import critical_path
 from repro.analysis.comm_volume import communication_volume
 from repro.analysis.memory import memory_usage
+from repro.analysis.trace_replay import (
+    TraceReplay,
+    TraceValidationError,
+    TraceValidationReport,
+    replay_trace,
+    validate_trace,
+)
 from repro.analysis.tree_stats import tree_statistics, work_by_depth
 from repro.analysis.utilization import utilization_profile
 
@@ -16,6 +23,11 @@ __all__ = [
     "critical_path",
     "communication_volume",
     "memory_usage",
+    "TraceReplay",
+    "TraceValidationError",
+    "TraceValidationReport",
+    "replay_trace",
+    "validate_trace",
     "tree_statistics",
     "work_by_depth",
     "utilization_profile",

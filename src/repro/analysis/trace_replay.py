@@ -1,0 +1,432 @@
+"""Trace replay: recompute run statistics from the structured trace alone.
+
+The structured trace (:mod:`repro.runtime.trace`) mirrors the metrics
+timeline event for event, so everything
+:class:`~repro.runtime.metrics.RuntimeMetrics` reports — per-worker
+busy/comm/idle time, executed work, message counts and bytes — can be
+*recomputed from the trace* and cross-checked. On a fault-free run the
+reconciliation is exact (bit-identical float sums, integer-equal
+counters); the same replay also recomputes the paper's §3.2 balance
+statistics (overall, row, column, diagonal — realized, not modeled) from
+the per-rank work and the processor grid recorded in the trace metadata.
+
+:func:`replay_trace` produces the per-worker profile;
+:func:`validate_trace` layers the cross-checks:
+
+* structural: monotone per-worker timestamps, every task exactly once
+  per attempt, no ring overflow;
+* against :class:`RuntimeMetrics`: busy/comm/idle seconds exact,
+  work/messages/bytes integer-equal, balance within tolerance;
+* against the static models: per-worker work equals the
+  :class:`~repro.blocks.workmodel.WorkModel` share of the ownership,
+  message/byte totals equal
+  :func:`~repro.analysis.comm_volume.communication_volume`, and the
+  replayed overall balance matches
+  :func:`~repro.mapping.balance.overall_balance_from_owners` to 1e-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.comm_volume import communication_volume
+from repro.mapping.balance import overall_balance_from_owners
+
+
+def _balance(values: np.ndarray) -> float:
+    """The paper's statistic: ``total / (P * max)`` (1.0 is perfect)."""
+    m = float(values.max(initial=0.0))
+    if m <= 0:
+        return 1.0
+    return float(values.sum() / (values.shape[0] * m))
+
+
+@dataclass
+class TraceReplay:
+    """Per-worker profile recomputed from a trace (one attempt)."""
+
+    attempt: int
+    nprocs: int
+    grid: tuple[int, int] | None
+    busy_s: np.ndarray
+    comm_s: np.ndarray
+    idle_s: np.ndarray
+    work: np.ndarray
+    flops: np.ndarray
+    tasks: np.ndarray
+    task_counts: list[dict[str, int]]
+    messages_sent: np.ndarray
+    bytes_sent: np.ndarray
+    messages_received: np.ndarray
+    bytes_received: np.ndarray
+    retransmits: np.ndarray
+    duplicates: np.ndarray
+    marks: dict[str, int]
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_balance(self) -> float:
+        """Balance of replayed busy seconds."""
+        return _balance(self.busy_s)
+
+    @property
+    def work_balance(self) -> float:
+        """Overall balance of replayed work units (§3.2 'overall')."""
+        return _balance(self.work.astype(float))
+
+    def _grid_work(self) -> tuple[np.ndarray, int, int]:
+        if self.grid is None:
+            raise ValueError("trace metadata carries no processor grid")
+        Pr, Pc = self.grid
+        if Pr * Pc != self.nprocs:
+            raise ValueError(
+                f"grid {Pr}x{Pc} does not cover {self.nprocs} workers"
+            )
+        return self.work.astype(float), Pr, Pc
+
+    @property
+    def row_balance(self) -> float:
+        """Realized row balance: work aggregated per grid row."""
+        w, Pr, Pc = self._grid_work()
+        rows = np.arange(self.nprocs) // Pc
+        row_work = np.bincount(rows, weights=w, minlength=Pr)
+        m = float(row_work.max(initial=0.0))
+        if m <= 0:
+            return 1.0
+        return float(w.sum() / (self.nprocs * m / Pc))
+
+    @property
+    def column_balance(self) -> float:
+        """Realized column balance: work aggregated per grid column."""
+        w, Pr, Pc = self._grid_work()
+        cols = np.arange(self.nprocs) % Pc
+        col_work = np.bincount(cols, weights=w, minlength=Pc)
+        m = float(col_work.max(initial=0.0))
+        if m <= 0:
+            return 1.0
+        return float(w.sum() / (self.nprocs * m / Pr))
+
+    @property
+    def diagonal_balance(self) -> float | None:
+        """Realized diagonal balance (square grids only, like §3.2)."""
+        w, Pr, Pc = self._grid_work()
+        if Pr != Pc:
+            return None
+        ranks = np.arange(self.nprocs)
+        d = (ranks // Pc - ranks % Pc) % Pr
+        diag_work = np.bincount(d, weights=w, minlength=Pr)
+        m = float(diag_work.max(initial=0.0))
+        if m <= 0:
+            return 1.0
+        return float(w.sum() / (self.nprocs * m / Pr))
+
+
+def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
+    """Recompute the per-worker execution profile from a trace.
+
+    ``attempt`` picks one attempt of a multi-attempt (recovery) trace;
+    default is the final one. Sums are accumulated per worker in event
+    order, which reproduces the worker's own float summation exactly.
+    """
+    attempts = trace.attempts
+    if attempt is None:
+        attempt = attempts[-1] if attempts else 0
+    nprocs = trace.nprocs
+    grid = trace.meta.get("grid")
+    grid = (int(grid[0]), int(grid[1])) if grid else None
+
+    busy = np.zeros(nprocs)
+    comm = np.zeros(nprocs)
+    idle = np.zeros(nprocs)
+    work = np.zeros(nprocs, dtype=np.int64)
+    flops = np.zeros(nprocs, dtype=np.int64)
+    tasks = np.zeros(nprocs, dtype=np.int64)
+    task_counts = [
+        {"BFAC": 0, "BDIV": 0, "BMOD": 0} for _ in range(nprocs)
+    ]
+    msent = np.zeros(nprocs, dtype=np.int64)
+    bsent = np.zeros(nprocs, dtype=np.int64)
+    mrecv = np.zeros(nprocs, dtype=np.int64)
+    brecv = np.zeros(nprocs, dtype=np.int64)
+    retrans = np.zeros(nprocs, dtype=np.int64)
+    dups = np.zeros(nprocs, dtype=np.int64)
+    marks: dict[str, int] = {}
+
+    for e in trace.events:
+        if e.attempt != attempt:
+            continue
+        r = e.rank
+        if e.cat == "task":
+            busy[r] += e.t1 - e.t0
+            tasks[r] += 1
+            kind = e.name.partition("(")[0]
+            if kind in task_counts[r]:
+                task_counts[r][kind] += 1
+            if e.args:
+                work[r] += int(e.args.get("work", 0))
+                flops[r] += int(e.args.get("flops", 0))
+        elif e.cat == "send":
+            comm[r] += e.t1 - e.t0
+            if e.args:
+                n = len(e.args.get("targets", ()))
+                msent[r] += n
+                bsent[r] += n * int(e.args.get("bytes", 0))
+        elif e.cat == "recv":
+            comm[r] += e.t1 - e.t0
+            mrecv[r] += 1
+            if e.args:
+                brecv[r] += int(e.args.get("bytes", 0))
+            if e.name == "duplicate":
+                dups[r] += 1
+        elif e.cat == "comm":
+            comm[r] += e.t1 - e.t0
+        elif e.cat == "idle":
+            idle[r] += e.t1 - e.t0
+        elif e.cat == "mark":
+            marks[e.name] = marks.get(e.name, 0) + 1
+            if e.name == "retransmit":
+                retrans[r] += 1
+                msent[r] += 1
+                if e.args:
+                    bsent[r] += int(e.args.get("bytes", 0))
+
+    return TraceReplay(
+        attempt=attempt, nprocs=nprocs, grid=grid,
+        busy_s=busy, comm_s=comm, idle_s=idle,
+        work=work, flops=flops, tasks=tasks, task_counts=task_counts,
+        messages_sent=msent, bytes_sent=bsent,
+        messages_received=mrecv, bytes_received=brecv,
+        retransmits=retrans, duplicates=dups, marks=marks,
+    )
+
+
+@dataclass
+class TraceValidationReport:
+    """Outcome of :func:`validate_trace`."""
+
+    replay: TraceReplay
+    checks: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        rep = self.replay
+        lines = [
+            f"trace replay (attempt {rep.attempt}, P={rep.nprocs}): "
+            f"{'OK' if self.ok else 'FAILED'}",
+            f"  busy={rep.busy_s.sum():.4f}s idle={rep.idle_s.sum():.4f}s "
+            f"comm={rep.comm_s.sum():.4f}s tasks={int(rep.tasks.sum())}",
+            f"  messages={int(rep.messages_sent.sum())} "
+            f"({int(rep.bytes_sent.sum())} bytes)",
+            f"  balance: measured={rep.measured_balance:.4f} "
+            f"overall={rep.work_balance:.4f}",
+        ]
+        if rep.grid is not None:
+            diag = rep.diagonal_balance
+            lines.append(
+                f"  row={rep.row_balance:.4f} col={rep.column_balance:.4f} "
+                f"diag={'n/a' if diag is None else f'{diag:.4f}'}"
+            )
+        lines.extend(f"  pass: {c}" for c in self.checks)
+        lines.extend(f"  FAIL: {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+class TraceValidationError(AssertionError):
+    """The trace disagreed with the metrics or the static models."""
+
+
+def validate_trace(
+    trace,
+    metrics=None,
+    tg=None,
+    owners=None,
+    attempt: int | None = None,
+    tolerance: float = 1e-9,
+    faulty: bool = False,
+    strict: bool = False,
+) -> TraceValidationReport:
+    """Replay ``trace`` and cross-check it against everything we know.
+
+    ``metrics`` (a :class:`~repro.runtime.metrics.RuntimeMetrics`) enables
+    the exact runtime reconciliation; ``tg`` + ``owners`` enable the
+    static-model checks (WorkModel shares, communication volume, overall
+    balance). ``faulty`` relaxes the exact accounting checks the same way
+    :func:`repro.runtime.validation.validate_runtime` does — retransmits,
+    duplicates, and checkpoint-skipped tasks legitimately perturb them.
+    With ``strict``, failures raise :class:`TraceValidationError`.
+    """
+    rep = replay_trace(trace, attempt=attempt)
+    checks: list[str] = []
+    failures: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Structural invariants.
+    # ------------------------------------------------------------------
+    if trace.total_dropped:
+        failures.append(
+            f"ring overflow dropped {trace.total_dropped} events; "
+            "replay is incomplete"
+        )
+    # Events are appended when they *close* (spans at t1, marks at their
+    # instant), so per worker the end times are non-decreasing in recorded
+    # order — even when a mark fires inside a span still being measured.
+    for rank, events in sorted(trace.per_worker(rep.attempt).items()):
+        prev = -np.inf
+        for e in events:
+            if e.t1 < e.t0:
+                failures.append(
+                    f"worker {rank}: event {e.name!r} ends before it "
+                    f"starts ({e.t1} < {e.t0})"
+                )
+                break
+            if e.t1 < prev:
+                failures.append(
+                    f"worker {rank}: non-monotone event order at "
+                    f"{e.name!r} (ends {e.t1}, earlier than {prev})"
+                )
+                break
+            prev = e.t1
+    if not any(f.startswith("worker") for f in failures):
+        checks.append("per-worker timestamps monotone")
+
+    seen_tids: dict[int, int] = {}
+    for e in trace.events:
+        if e.attempt != rep.attempt or e.cat != "task" or not e.args:
+            continue
+        tid = e.args.get("tid")
+        if tid is not None:
+            seen_tids[tid] = seen_tids.get(tid, 0) + 1
+    repeated = {t: c for t, c in seen_tids.items() if c > 1}
+    if repeated:
+        failures.append(
+            f"{len(repeated)} tasks executed more than once in attempt "
+            f"{rep.attempt} (e.g. {sorted(repeated)[:5]})"
+        )
+    else:
+        checks.append("every task executed at most once per attempt")
+
+    # Balance sanity: overall can never exceed the marginal statistics.
+    if rep.grid is not None and rep.work.sum() > 0:
+        margins = [rep.row_balance, rep.column_balance]
+        if rep.diagonal_balance is not None:
+            margins.append(rep.diagonal_balance)
+        if rep.work_balance > min(margins) + 1e-12:
+            failures.append(
+                f"overall balance {rep.work_balance:.6f} exceeds a "
+                f"marginal balance (min {min(margins):.6f})"
+            )
+        else:
+            checks.append("overall <= row/column/diagonal balance")
+
+    # ------------------------------------------------------------------
+    # Against the measured RuntimeMetrics (exact on fault-free runs).
+    # ------------------------------------------------------------------
+    if metrics is not None:
+        workers = sorted(metrics.workers, key=lambda w: w.rank)
+        for w in workers:
+            r = w.rank
+            for label, got, want in (
+                ("busy_s", rep.busy_s[r], w.busy_s),
+                ("comm_s", rep.comm_s[r], w.comm_s),
+                ("idle_s", rep.idle_s[r], w.idle_s),
+            ):
+                if got != want:
+                    failures.append(
+                        f"worker {r}: replayed {label} {got!r} != "
+                        f"metrics {want!r}"
+                    )
+            if rep.tasks[r] != w.tasks_executed:
+                failures.append(
+                    f"worker {r}: replayed {int(rep.tasks[r])} tasks, "
+                    f"metrics say {w.tasks_executed}"
+                )
+            if rep.work[r] != w.work_executed:
+                failures.append(
+                    f"worker {r}: replayed work {int(rep.work[r])} != "
+                    f"metrics {w.work_executed}"
+                )
+            if rep.task_counts[r] != w.task_counts:
+                failures.append(
+                    f"worker {r}: replayed task kinds "
+                    f"{rep.task_counts[r]} != metrics {w.task_counts}"
+                )
+            if not faulty:
+                if (rep.messages_sent[r] != w.messages_sent
+                        or rep.bytes_sent[r] != w.bytes_sent):
+                    failures.append(
+                        f"worker {r}: replayed sends "
+                        f"{int(rep.messages_sent[r])}/"
+                        f"{int(rep.bytes_sent[r])}B != metrics "
+                        f"{w.messages_sent}/{w.bytes_sent}B"
+                    )
+                if (rep.messages_received[r] != w.messages_received
+                        or rep.bytes_received[r] != w.bytes_received):
+                    failures.append(
+                        f"worker {r}: replayed recvs "
+                        f"{int(rep.messages_received[r])}/"
+                        f"{int(rep.bytes_received[r])}B != metrics "
+                        f"{w.messages_received}/{w.bytes_received}B"
+                    )
+        if abs(rep.measured_balance - metrics.measured_balance) > tolerance:
+            failures.append(
+                f"replayed measured balance {rep.measured_balance!r} != "
+                f"metrics {metrics.measured_balance!r}"
+            )
+        if abs(rep.work_balance - metrics.work_balance) > tolerance:
+            failures.append(
+                f"replayed work balance {rep.work_balance!r} != "
+                f"metrics {metrics.work_balance!r}"
+            )
+        if not any("metrics" in f or "worker" in f for f in failures):
+            checks.append("replay reconciles with RuntimeMetrics")
+
+    # ------------------------------------------------------------------
+    # Against the static models (fault-free runs only).
+    # ------------------------------------------------------------------
+    if tg is not None and owners is not None and not faulty:
+        owners = np.asarray(owners)
+        wm = tg.workmodel
+        work_pred = np.bincount(
+            owners, weights=wm.work, minlength=rep.nprocs
+        ).astype(np.int64)
+        if not np.array_equal(rep.work, work_pred):
+            failures.append(
+                "replayed per-worker work differs from the WorkModel "
+                f"share by up to {np.abs(rep.work - work_pred).max()}"
+            )
+        else:
+            checks.append("per-worker work equals the WorkModel share")
+        comm_pred = communication_volume(tg, owners)
+        if int(rep.messages_sent.sum()) != comm_pred.messages:
+            failures.append(
+                f"replayed {int(rep.messages_sent.sum())} messages, "
+                f"comm_volume predicted {comm_pred.messages}"
+            )
+        elif int(rep.bytes_sent.sum()) != comm_pred.bytes:
+            failures.append(
+                f"replayed {int(rep.bytes_sent.sum())} bytes, "
+                f"comm_volume predicted {comm_pred.bytes}"
+            )
+        else:
+            checks.append("message counts/bytes equal comm_volume")
+        bal_pred = overall_balance_from_owners(wm, owners, rep.nprocs)
+        if abs(rep.work_balance - bal_pred) > tolerance:
+            failures.append(
+                f"replayed overall balance {rep.work_balance:.12f} != "
+                f"WorkModel prediction {bal_pred:.12f}"
+            )
+        else:
+            checks.append("overall balance matches the WorkModel to 1e-9")
+
+    report = TraceValidationReport(
+        replay=rep, checks=checks, failures=failures
+    )
+    if strict and failures:
+        raise TraceValidationError(report.summary())
+    return report

@@ -16,6 +16,9 @@ Commands
     corrupt, delay, slow) over the runtime and assert that every run
     either recovers to the sequential factor or degrades cleanly to the
     sequential backend with a populated failure report.
+``trace <file>``
+    Inspect a structured run trace (written by ``bench-real --trace-out``):
+    summary, ASCII Gantt chart, replay validation, Chrome trace export.
 ``experiment <name>``
     Run one paper experiment (table1..table7, figure1, prime_grids, ...).
 ``suite``
@@ -123,6 +126,7 @@ def cmd_bench_real(args) -> int:
             prep.structure, prep.symbolic.A, prep.taskgraph, owners,
             args.nprocs, policy=policy, mapping=name,
             timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
+            trace=bool(args.trace_out),
         )
         met = res.metrics
         met.problem = prep.name
@@ -150,6 +154,12 @@ def cmd_bench_real(args) -> int:
             print("  " + rep.summary().replace("\n", "\n  "))
             if not rep.ok:
                 return 1
+        if args.trace_out and res.trace is not None:
+            path = _trace_path(args.trace_out, mapping, len(mappings) > 1)
+            res.trace.meta["problem"] = prep.name
+            res.trace.dump(path)
+            print(f"  trace ({len(res.trace.events)} events) written to "
+                  f"{path}")
         print()
     if len(runs) > 1:
         print("mapping comparison (work imbalance, lower is better):")
@@ -166,6 +176,40 @@ def cmd_bench_real(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"metrics written to {args.json}")
+    return 0
+
+
+def _trace_path(base: str, mapping: str, multi: bool) -> str:
+    """Output path for one mapping's trace; with several mappings a
+    filesystem-safe mapping slug is inserted before the extension."""
+    if not multi:
+        return base
+    slug = mapping.replace("/", "-").lower()
+    root, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}.{slug}"
+    return f"{root}.{slug}.{ext}"
+
+
+def cmd_trace(args) -> int:
+    from repro.analysis.trace_replay import validate_trace
+    from repro.runtime.trace import RunTrace
+
+    trace = RunTrace.load(args.file)
+    print(trace.summary())
+    if args.gantt:
+        print()
+        print(trace.gantt(width=args.width))
+    if args.validate:
+        rep = validate_trace(trace)
+        print()
+        print(rep.summary())
+        if not rep.ok:
+            return 1
+    if args.chrome:
+        trace.dump_chrome(args.chrome)
+        print(f"\nChrome trace written to {args.chrome} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -369,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "models")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write per-mapping metrics JSON to PATH")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record a structured event trace and write it to "
+                        "PATH (one file per mapping; inspect with "
+                        "'repro trace')")
     p.add_argument("--timeout", type=float, default=300.0, metavar="S",
                    help="global wall-clock deadline in seconds")
     p.add_argument("--stall-timeout", type=float, default=30.0, metavar="S",
@@ -405,6 +453,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-attempt failure details")
     _add_common(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a structured run trace (summary, Gantt, replay "
+             "validation, Chrome export)",
+    )
+    p.add_argument("file", help="trace file written by bench-real --trace-out")
+    p.add_argument("--gantt", action="store_true",
+                   help="render the ASCII Gantt chart")
+    p.add_argument("--width", type=int, default=72,
+                   help="Gantt chart width in characters")
+    p.add_argument("--validate", action="store_true",
+                   help="replay the trace and check its internal invariants")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="also export Chrome trace_event JSON to PATH")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("analyze", help="structure/memory/critical-path report")
     p.add_argument("problem")

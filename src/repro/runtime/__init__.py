@@ -18,6 +18,7 @@ Layers: :mod:`~repro.runtime.wire` (block serialization, CRC32 integrity),
 :mod:`~repro.runtime.engine` (process orchestration),
 :mod:`~repro.runtime.faults` (deterministic chaos injection),
 :mod:`~repro.runtime.recovery` (checkpoint/restart + sequential fallback),
+:mod:`~repro.runtime.trace` (always-available structured event tracing),
 :mod:`~repro.runtime.metrics` and :mod:`~repro.runtime.validation`.
 """
 
@@ -46,6 +47,12 @@ from repro.runtime.recovery import (
     run_with_recovery,
 )
 from repro.runtime.scheduler import ReadyScheduler
+from repro.runtime.trace import (
+    RunTrace,
+    TraceEvent,
+    TraceRecorder,
+    WorkerTrace,
+)
 from repro.runtime.validation import (
     ValidationError,
     ValidationReport,
@@ -76,6 +83,10 @@ __all__ = [
     "FailureReport",
     "run_with_recovery",
     "ReadyScheduler",
+    "RunTrace",
+    "TraceEvent",
+    "TraceRecorder",
+    "WorkerTrace",
     "ValidationError",
     "ValidationReport",
     "validate_runtime",

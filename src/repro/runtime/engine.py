@@ -33,6 +33,7 @@ from repro.numeric.blockfact import BlockCholesky
 from repro.runtime import wire
 from repro.runtime.links import LinkFabric
 from repro.runtime.metrics import RuntimeMetrics, WorkerMetrics
+from repro.runtime.trace import DEFAULT_CAPACITY, RunTrace
 from repro.runtime.worker import worker_main
 
 
@@ -82,6 +83,9 @@ class MPRuntimeResult:
     meta: dict = field(default_factory=dict)
     #: Populated by :func:`repro.runtime.recovery.run_with_recovery`.
     failure_report: object | None = None
+    #: Merged structured trace (:class:`repro.runtime.trace.RunTrace`),
+    #: present when the run was started with ``trace=...``.
+    trace: RunTrace | None = None
 
     def to_csc(self) -> sparse.csc_matrix:
         return self.factor.to_csc()
@@ -127,6 +131,7 @@ def run_mp_fanout(
     poll_s: float = 0.002,
     inject_failure: tuple[int, int] | None = None,
     record_timeline: bool = True,
+    trace: bool | int | None = None,
     start_method: str | None = None,
     mapping: str = "",
     fault_plan=None,
@@ -146,7 +151,12 @@ def run_mp_fanout(
     every worker; an explicit ``priorities`` array wins over ``policy``.
     ``inject_failure=(rank, after_n_tasks)`` is the fault-injection hook the
     shutdown tests use; ``fault_plan`` (:class:`repro.runtime.faults.FaultPlan`)
-    is the full chaos layer. ``recovery`` turns on the in-run integrity
+    is the full chaos layer. ``trace`` turns on structured event tracing
+    (:mod:`repro.runtime.trace`): ``True`` uses the default per-worker
+    ring capacity, an int sets it; the merged
+    :class:`~repro.runtime.trace.RunTrace` lands on the result's
+    ``trace`` attribute. Tracing off (the default) adds no per-event
+    allocation on the hot path. ``recovery`` turns on the in-run integrity
     protocol (CRC reject + NACK/retransmit + duplicate suppression + the
     DONE linger barrier); it defaults to on exactly when a fault plan is
     given. ``checkpoint`` maps block ids to completed-block wire frames
@@ -169,6 +179,14 @@ def run_mp_fanout(
         priorities = task_priorities(tg, policy, depth=depth)
     if recovery is None:
         recovery = fault_plan is not None
+    if trace is None or trace is False:
+        trace_capacity = 0
+    elif trace is True:
+        trace_capacity = DEFAULT_CAPACITY
+    else:
+        trace_capacity = int(trace)
+        if trace_capacity < 0:
+            raise ValueError("trace capacity must be non-negative")
 
     if start_method is None:
         start_method = (
@@ -195,6 +213,7 @@ def run_mp_fanout(
             stall_timeout_s=stall_timeout_s,
             inject_failure=inject_failure,
             record_timeline=record_timeline,
+            trace_capacity=trace_capacity,
             op_fixed_cost=op_fixed_cost,
             fault_plan=fault_plan,
             recovery=recovery,
@@ -276,6 +295,10 @@ def run_mp_fanout(
         workers=[results[r].metrics for r in sorted(results)],
         mapping=mapping,
     )
+    run_trace = None
+    if trace_capacity:
+        run_trace = _merge_trace(results, nprocs, mapping, start_method,
+                                 fault_plan, wall_s)
     return MPRuntimeResult(
         factor=factor,
         metrics=metrics,
@@ -286,6 +309,36 @@ def run_mp_fanout(
             "recovery": recovery,
             "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
         },
+        trace=run_trace,
+    )
+
+
+def _runtime_grid(nprocs: int):
+    """The processor grid :func:`plan_owners` would use for ``nprocs``."""
+    try:
+        return square_grid(nprocs)
+    except ValueError:
+        return best_grid(nprocs)
+
+
+def _merge_trace(results, nprocs, mapping, start_method, fault_plan,
+                 wall_s=None) -> RunTrace:
+    """Merge worker ring snapshots into one :class:`RunTrace`."""
+    grid = _runtime_grid(nprocs)
+    attempt = int(fault_plan.attempt) if fault_plan is not None else 0
+    meta = {
+        "nprocs": nprocs,
+        "mapping": mapping,
+        "grid": [int(grid.Pr), int(grid.Pc)],
+        "start_method": start_method,
+        "attempt": attempt,
+    }
+    if wall_s is not None:
+        meta["wall_s"] = wall_s
+    return RunTrace.from_workers(
+        {r: results[r].trace for r in sorted(results)},
+        meta=meta,
+        attempt=attempt,
     )
 
 

@@ -92,6 +92,10 @@ class WorkerMetrics:
     checkpoint_blocks_loaded: int = 0
     #: Faults this worker's injector actually fired: ``{class: count}``.
     faults_injected: dict[str, int] = field(default_factory=dict)
+    #: Structured trace events recorded / dropped to ring overflow
+    #: (zero when tracing is off; see :mod:`repro.runtime.trace`).
+    trace_events: int = 0
+    trace_dropped: int = 0
 
     @property
     def recovery_events(self) -> int:

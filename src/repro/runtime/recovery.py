@@ -40,6 +40,7 @@ from repro.runtime.engine import (
 )
 from repro.runtime.faults import FaultPlan
 from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.trace import RunTrace
 
 #: FailureReport.outcome values.
 OUTCOME_CLEAN = "clean"
@@ -127,6 +128,22 @@ def _harvest_checkpoint(
             checkpoint[b] = frame
 
 
+def _salvage_trace(exc: FanoutError, attempt: int, P: int) -> RunTrace | None:
+    """Merge the worker traces a failed attempt shipped home (None when
+    the attempt ran untraced or nothing was salvaged)."""
+    worker_traces = {
+        r: res.trace for r, res in exc.results.items()
+        if getattr(res, "trace", None) is not None
+    }
+    if not worker_traces:
+        return None
+    return RunTrace.from_workers(
+        worker_traces,
+        meta={"nprocs": P, "attempt": attempt, "failed": True},
+        attempt=attempt,
+    )
+
+
 def run_with_recovery(
     structure: BlockStructure,
     A: sparse.spmatrix,
@@ -155,6 +172,7 @@ def run_with_recovery(
     kwargs.setdefault("dead_grace_s", 10.0)
     P = nprocs
     last_exc: FanoutError | None = None
+    salvaged_traces: list[RunTrace] = []
     for attempt in range(max_restarts + 1):
         owners, name = plan_owners(wm, tg, P, mapping, use_domains)
         plan_a = fault_plan.for_attempt(attempt) if fault_plan else None
@@ -172,6 +190,9 @@ def run_with_recovery(
             last_exc = exc
             before = len(checkpoint)
             _harvest_checkpoint(exc, tg, checkpoint)
+            salvage = _salvage_trace(exc, attempt, P)
+            if salvage is not None:
+                salvaged_traces.append(salvage)
             report.attempts.append(FailedAttempt(
                 attempt=attempt,
                 nprocs=P,
@@ -193,6 +214,10 @@ def run_with_recovery(
         report.faults_injected = res.metrics.faults_injected_total
         report.wall_s = time.perf_counter() - t_start
         res.failure_report = report
+        if salvaged_traces:
+            # Prepend the failed attempts' salvaged events so the final
+            # trace tells the whole multi-attempt story.
+            res.trace = RunTrace.concat([*salvaged_traces, res.trace])
         return res
 
     if not fallback_sequential:
@@ -219,5 +244,6 @@ def run_with_recovery(
         mapping="sequential-fallback",
         meta={"fallback": True},
         failure_report=report,
+        trace=RunTrace.concat(salvaged_traces) if salvaged_traces else None,
     )
     return res

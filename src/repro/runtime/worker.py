@@ -50,6 +50,7 @@ from repro.runtime import wire
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.metrics import TimelineRecorder, WorkerMetrics
 from repro.runtime.scheduler import ReadyScheduler
+from repro.runtime.trace import TraceRecorder, WorkerTrace
 
 _KIND_NAMES = {BFAC: "BFAC", BDIV: "BDIV", BMOD: "BMOD"}
 
@@ -67,6 +68,7 @@ class WorkerResult:
     rank: int
     metrics: WorkerMetrics
     frames: list[bytes]
+    trace: WorkerTrace | None = None
 
 
 class Worker:
@@ -94,6 +96,7 @@ class Worker:
         stall_timeout_s: float = 30.0,
         inject_failure: tuple[int, int] | None = None,
         record_timeline: bool = True,
+        trace_capacity: int = 0,
         op_fixed_cost: int = 1000,
         fault_plan: FaultPlan | None = None,
         recovery: bool = False,
@@ -125,6 +128,9 @@ class Worker:
         self.retransmit_limit = retransmit_limit
         self.metrics = WorkerMetrics(rank=rank)
         self.timeline = TimelineRecorder(enabled=record_timeline)
+        #: Structured event recorder, or None (tracing off — the hot path
+        #: then pays one identity check per event site, no allocation).
+        self.trace = TraceRecorder(trace_capacity) if trace_capacity else None
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -142,7 +148,10 @@ class Worker:
             frames = self._checkpoint_frames() if self.recovery else []
             self._broadcast_abort()
         self._finalize()
-        self.result_queue.put(WorkerResult(self.rank, self.metrics, frames))
+        trace = None if self.trace is None else self.trace.snapshot(self.rank)
+        self.result_queue.put(
+            WorkerResult(self.rank, self.metrics, frames, trace)
+        )
         if self.metrics.error is not None or self.metrics.aborted:
             # Don't hang at exit flushing frames to peers that may be gone.
             for link in getattr(self, "links", {}).values():
@@ -214,6 +223,9 @@ class Worker:
             I, J = int(tg.block_I[b]), int(tg.block_J[b])
             self.have.add(b)
             self.metrics.checkpoint_blocks_loaded += 1
+            if self.trace is not None:
+                self.trace.mark("checkpoint_load", self._now(),
+                                {"block": b, "I": I, "J": J})
             if I == J:
                 self.chol.diag[J] = msg.payload
                 self.chol._factored[J] = True
@@ -290,9 +302,15 @@ class Worker:
         try:
             frame = self.inbox.get(timeout=self.poll_s)
         except queue_mod.Empty:
-            self.timeline.add("idle", t0, self._now())
+            t1 = self._now()
+            self.timeline.add("idle", t0, t1)
+            if self.trace is not None:
+                self.trace.span("idle", "idle", t0, t1)
             return False
-        self.timeline.add("idle", t0, self._now())
+        t1 = self._now()
+        self.timeline.add("idle", t0, t1)
+        if self.trace is not None:
+            self.trace.span("idle", "idle", t0, t1)
         return self._handle_frame(frame)
 
     def _handle_frame(self, frame: bytes) -> bool:
@@ -300,6 +318,7 @@ class Worker:
         (i.e. could unblock a task)."""
         t0 = self._now()
         m = self.metrics
+        tr = self.trace
         try:
             msg = wire.unpack(frame)
         except wire.CorruptFrameError as exc:
@@ -310,7 +329,11 @@ class Worker:
                     f"(no recovery enabled): {exc}"
                 ) from exc
             self._nack_corrupt(exc)
-            self.timeline.add("comm", t0, self._now())
+            t1 = self._now()
+            self.timeline.add("comm", t0, t1)
+            if tr is not None:
+                tr.span("comm", "frame_rejected", t0, t1,
+                        {"src": exc.src, "block": exc.block})
             return False
         except wire.WireError as exc:
             m.frames_rejected += 1
@@ -321,31 +344,56 @@ class Worker:
                 ) from exc
             # Unattributable garbage: drop it; renegotiation re-requests
             # whatever it was supposed to carry.
-            self.timeline.add("comm", t0, self._now())
+            t1 = self._now()
+            self.timeline.add("comm", t0, t1)
+            if tr is not None:
+                tr.span("comm", "undecodable", t0, t1)
             return False
         if msg.kind == wire.ABORT:
             m.control_received += 1
+            if tr is not None:
+                tr.mark("abort_recv", t0, {"src": msg.src})
             raise _Abort()
         if msg.kind == wire.DONE:
             m.control_received += 1
             self.done_peers.add(msg.src)
-            self.timeline.add("comm", t0, self._now())
+            t1 = self._now()
+            self.timeline.add("comm", t0, t1)
+            if tr is not None:
+                tr.span("comm", "done_recv", t0, t1, {"src": msg.src})
             return True
         if msg.kind == wire.NACK:
             m.control_received += 1
             m.nacks_received += 1
             self._serve_nack(msg)
-            self.timeline.add("comm", t0, self._now())
+            t1 = self._now()
+            self.timeline.add("comm", t0, t1)
+            if tr is not None:
+                tr.span("comm", "nack_recv", t0, t1,
+                        {"src": msg.src, "block": msg.block})
             return False
         m.messages_received += 1
         m.bytes_received += len(frame)
         b = msg.block
         if b in self.have:
             m.duplicates_dropped += 1
-            self.timeline.add("comm", t0, self._now())
+            t1 = self._now()
+            self.timeline.add("comm", t0, t1)
+            if tr is not None:
+                tr.span("recv", "duplicate", t0, t1,
+                        {"block": b, "src": msg.src, "bytes": len(frame)})
             return False
         self._apply_block(msg)
-        self.timeline.add("comm", t0, self._now())
+        t1 = self._now()
+        self.timeline.add("comm", t0, t1)
+        if tr is not None:
+            tg = self.tg
+            tr.span(
+                "recv",
+                f"recv({int(tg.block_I[b])},{int(tg.block_J[b])})",
+                t0, t1,
+                {"block": b, "src": msg.src, "bytes": len(frame)},
+            )
         return True
 
     def _apply_block(self, msg: wire.WireMessage) -> None:
@@ -378,6 +426,9 @@ class Worker:
         if target >= 0 and 0 <= b < self.tg.nblocks:
             self.links[target].send_control(wire.pack_nack(self.rank, b))
             self.metrics.nacks_sent += 1
+            if self.trace is not None:
+                self.trace.mark("nack_sent", self._now(),
+                                {"block": b, "dst": target})
 
     def _serve_nack(self, msg: wire.WireMessage) -> None:
         """A peer wants block ``msg.block`` (again). Resend if we hold its
@@ -392,8 +443,13 @@ class Worker:
         if self._resends.get(key, 0) >= self.retransmit_limit:
             return
         self._resends[key] = self._resends.get(key, 0) + 1
-        self.links[requester].resend(self._frame_for(b))
+        frame = self._frame_for(b)
+        self.links[requester].resend(frame)
         self.metrics.retransmits += 1
+        if self.trace is not None:
+            self.trace.mark("retransmit", self._now(),
+                            {"block": b, "dst": requester,
+                             "bytes": len(frame)})
 
     def _maybe_renegotiate(self, now: float, last_progress: float) -> None:
         """NACK owners of still-missing blocks under exponential backoff."""
@@ -414,12 +470,19 @@ class Worker:
         self._reneg_attempts += 1
         self._last_reneg = now
         self.metrics.renegotiations += 1
+        if self.trace is not None:
+            self.trace.mark("renegotiate", now,
+                            {"round": self._reneg_attempts,
+                             "missing": len(self.expected)})
         for b in sorted(self.expected):
             owner = int(self.owners[b])
             if owner == self.rank or owner not in self.links:
                 continue
             self.links[owner].send_control(wire.pack_nack(self.rank, b))
             self.metrics.nacks_sent += 1
+            if self.trace is not None:
+                self.trace.mark("nack_sent", self._now(),
+                                {"block": b, "dst": owner})
 
     def _linger(self) -> None:
         """After finishing own tasks under recovery: release delayed
@@ -432,6 +495,8 @@ class Worker:
         done = wire.pack_done(self.rank)
         for link in self.links.values():
             link.send_control(done)
+        if self.trace is not None:
+            self.trace.mark("done_sent", self._now())
         peers = set(self.links)
         last_activity = self._now()
         while not peers <= self.done_peers:
@@ -497,11 +562,27 @@ class Worker:
         m.flops_executed += flops
         m.work_executed += flops + self.op_fixed_cost
         self.executed += 1
+        if self.trace is not None:
+            self.trace.span(
+                "task",
+                f"{_KIND_NAMES[kind]}"
+                f"({int(tg.block_I[b])},{int(tg.block_J[b])})",
+                t0, t1,
+                {"tid": tid, "block": b, "flops": flops,
+                 "work": flops + self.op_fixed_cost},
+            )
         if self._slow_s > 0.0:
             if self.injector is not None:
                 self.injector.injected["slow"] += 1
+            if self.trace is not None:
+                self.trace.mark("slow", self._now(), {"s": self._slow_s})
             time.sleep(self._slow_s)
         if self._crash_after is not None and self.executed >= self._crash_after:
+            if self.trace is not None:
+                self.trace.mark(
+                    "crash", self._now(),
+                    {"after": self.executed, "hard": self._crash_hard},
+                )
             if self._crash_hard:
                 # A stand-in for a segfault/OOM kill: vanish without
                 # reporting. The driver notices the dead child.
@@ -536,7 +617,17 @@ class Worker:
         frame = self._frame_for(b)
         for dst in remote:
             self.links[int(dst)].send(frame)
-        self.timeline.add("comm", t0, self._now())
+        t1 = self._now()
+        self.timeline.add("comm", t0, t1)
+        if self.trace is not None:
+            tg = self.tg
+            self.trace.span(
+                "send",
+                f"send({int(tg.block_I[b])},{int(tg.block_J[b])})",
+                t0, t1,
+                {"block": b, "bytes": len(frame),
+                 "targets": [int(d) for d in remote]},
+            )
 
     def _frame_for(self, b: int) -> bytes:
         tg = self.tg
@@ -563,6 +654,8 @@ class Worker:
         return [self._frame_for(b) for b in sorted(self.have)]
 
     def _broadcast_abort(self) -> None:
+        if self.trace is not None:
+            self.trace.mark("abort_sent", self._now())
         frame = wire.pack_abort(self.rank)
         for link in getattr(self, "links", {}).values():
             try:
@@ -587,6 +680,9 @@ class Worker:
             m.faults_injected = {
                 k: v for k, v in injector.injected.items() if v
             }
+        if self.trace is not None:
+            m.trace_events = len(self.trace.events)
+            m.trace_dropped = self.trace.dropped
 
 
 def worker_main(rank: int, kwargs: dict) -> None:

@@ -86,6 +86,12 @@ class SparseCholesky:
         :attr:`failure_report`.
     max_restarts:
         Restart budget for the recovery path (``"mp"`` backend only).
+    trace:
+        Structured event tracing for the ``"mp"`` backend: ``True`` for the
+        default ring-buffer capacity, an int for an explicit per-worker
+        capacity, ``False``/``None`` (default) for zero-overhead off. The
+        merged :class:`repro.runtime.trace.RunTrace` lands in
+        :attr:`run_trace` after :meth:`factor`.
     """
 
     BACKENDS = ("sequential", "threads", "mp")
@@ -101,6 +107,7 @@ class SparseCholesky:
         use_domains: bool = False,
         fault_plan=None,
         max_restarts: int = 2,
+        trace: bool | int | None = None,
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
@@ -124,6 +131,7 @@ class SparseCholesky:
             fault_plan = FaultPlan.from_dict(fault_plan)
         self.fault_plan = fault_plan
         self.max_restarts = max_restarts
+        self.trace = trace
         #: Structured recovery outcome of the last ``"mp"`` factorization
         #: run under a fault plan (None otherwise).
         self.failure_report = None
@@ -137,6 +145,9 @@ class SparseCholesky:
         self._L: sparse.csc_matrix | None = None
         #: Per-worker metrics of the last ``"mp"`` factorization.
         self.runtime_metrics = None
+        #: Merged structured trace of the last traced ``"mp"``
+        #: factorization (:class:`repro.runtime.trace.RunTrace`, or None).
+        self.run_trace = None
 
     @staticmethod
     def _resolve_ordering(A, ordering):
@@ -193,6 +204,7 @@ class SparseCholesky:
                     use_domains=self.use_domains,
                     fault_plan=self.fault_plan,
                     max_restarts=self.max_restarts,
+                    trace=self.trace,
                 )
                 self.failure_report = result.failure_report
             else:
@@ -205,9 +217,11 @@ class SparseCholesky:
                     nprocs=self.nprocs,
                     mapping=self.mapping,
                     use_domains=self.use_domains,
+                    trace=self.trace,
                 )
             self._numeric = result.factor
             self.runtime_metrics = result.metrics
+            self.run_trace = result.trace
         self._L = self._numeric.to_csc()
         return self
 

@@ -1,0 +1,191 @@
+"""Property-based tests for the §4 remapping heuristics.
+
+Hypothesis generates random work vectors / block-work matrices and checks
+the guarantees the greedy heuristics actually provide:
+
+* totality — every panel lands on exactly one bin in ``[0, nbins)``;
+* determinism — the same inputs always produce the same map (stable
+  sorts, lowest-index tie-breaking);
+* the greedy bound — any greedy order achieves
+  ``max load <= sum/nbins + max item``;
+* the LPT guarantee — DW (decreasing work, classic LPT) achieves
+  ``max load <= (4/3 - 1/(3m)) * OPT``, hence is never worse than
+  ``(4/3 - 1/(3m)) *`` the cyclic max (cyclic can't beat the optimum);
+* in 2-D, the DW row map's §3.2 row balance is therefore at least
+  ``3/4`` of cyclic's on any block-work matrix.
+
+Note the heuristics are *not* universally at-least-as-good as cyclic on
+adversarial inputs (e.g. work ``[2, 3, 2, 3, 2]`` on 2 bins: cyclic max 6,
+LPT max 7) — the paper's claim is empirical, about sparse-factor work
+profiles. The properties below are the provable ones.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.mapping.balance import balance_metrics  # noqa: E402
+from repro.mapping.base import CartesianMap  # noqa: E402
+from repro.mapping.grid import ProcessorGrid  # noqa: E402
+from repro.mapping.heuristics import (  # noqa: E402
+    HEURISTICS,
+    greedy_partition,
+    heuristic_vector,
+    partition_lower_bound,
+)
+
+#: Random non-negative integer work vectors (integers keep load sums exact).
+work_vectors = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+nbins_strategy = st.integers(min_value=1, max_value=12)
+
+GREEDY_HEURISTICS = tuple(h for h in HEURISTICS if h != "CY")
+
+
+def _depth_for(n: int) -> np.ndarray:
+    # A plausible elimination-tree depth profile for the ID heuristic:
+    # later panels (closer to the root) are shallower.
+    return np.arange(n)[::-1].copy()
+
+
+def _max_load(work: np.ndarray, assignment: np.ndarray, nbins: int) -> float:
+    return float(
+        np.bincount(assignment, weights=work, minlength=nbins).max()
+    )
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+@given(work=work_vectors, nbins=nbins_strategy)
+@settings(max_examples=60, deadline=None)
+def test_total_onto_bins(heuristic, work, nbins):
+    """Every panel is assigned exactly one bin in [0, nbins)."""
+    v = heuristic_vector(heuristic, work, nbins, depth=_depth_for(len(work)))
+    assert v.shape == work.shape
+    assert np.issubdtype(v.dtype, np.integer)
+    assert v.min() >= 0
+    assert v.max() < nbins
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+@given(work=work_vectors, nbins=nbins_strategy)
+@settings(max_examples=40, deadline=None)
+def test_deterministic(heuristic, work, nbins):
+    """The same inputs always produce the identical map (stable sorts,
+    lowest-bin tie-breaking) — a mapping must be reproducible across
+    processes for the runtime's ownership to agree."""
+    depth = _depth_for(len(work))
+    a = heuristic_vector(heuristic, work, nbins, depth=depth)
+    b = heuristic_vector(heuristic, work.copy(), nbins, depth=depth.copy())
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("heuristic", GREEDY_HEURISTICS)
+@given(work=work_vectors, nbins=nbins_strategy)
+@settings(max_examples=60, deadline=None)
+def test_greedy_bound(heuristic, work, nbins):
+    """Greedy in *any* consideration order: when a bin receives its last
+    item it was the least loaded, so max load <= mean + max item."""
+    v = heuristic_vector(heuristic, work, nbins, depth=_depth_for(len(work)))
+    achieved = _max_load(work, v, nbins)
+    bound = work.sum() / nbins + (work.max() if work.size else 0.0)
+    assert achieved <= bound + 1e-9
+
+
+@given(work=work_vectors, nbins=nbins_strategy)
+@settings(max_examples=60, deadline=None)
+def test_dw_is_lpt_within_four_thirds_of_cyclic(work, nbins):
+    """DW is LPT, so max load <= (4/3 - 1/(3m)) * OPT; cyclic cannot beat
+    OPT, hence DW is within the same factor of cyclic's max load. (Plain
+    'DW >= cyclic balance' is false in general — see the module docstring.)
+    """
+    dw = heuristic_vector("DW", work, nbins)
+    cy = heuristic_vector("CY", work, nbins)
+    dw_max = _max_load(work, dw, nbins)
+    cy_max = _max_load(work, cy, nbins)
+    factor = 4.0 / 3.0 - 1.0 / (3.0 * nbins)
+    assert dw_max <= factor * cy_max + 1e-9
+    # ... and never below the information-theoretic lower bound.
+    assert dw_max + 1e-9 >= partition_lower_bound(work, nbins)
+
+
+@given(work=work_vectors, nbins=nbins_strategy)
+@settings(max_examples=40, deadline=None)
+def test_greedy_partition_respects_order(work, nbins):
+    """greedy_partition consumes items in the given order and assigns the
+    least-loaded bin at each step (replayed independently here)."""
+    order = np.argsort(-work, kind="stable")
+    got = greedy_partition(work, order, nbins)
+    loads = np.zeros(nbins)
+    for item in order:
+        expect = int(np.argmin(loads))
+        assert got[item] == expect
+        loads[expect] += work[item]
+
+
+# ----------------------------------------------------------------------
+# 2-D: the §3.2 row balance of a DW row map on random block-work matrices.
+# ----------------------------------------------------------------------
+
+block_work = st.integers(min_value=2, max_value=14).flatmap(
+    lambda n: st.lists(
+        st.lists(st.integers(min_value=0, max_value=1000),
+                 min_size=n, max_size=n),
+        min_size=n, max_size=n,
+    ).map(lambda rows: np.tril(np.asarray(rows, dtype=np.float64)))
+)
+
+
+def _fake_workmodel(W: np.ndarray) -> SimpleNamespace:
+    """A WorkModel stand-in from a dense lower-triangular block-work
+    matrix: one 'block' per (I, J) with work W[I, J]."""
+    I, J = np.nonzero(np.tril(np.ones_like(W)))
+    return SimpleNamespace(
+        dest_I=I,
+        dest_J=J,
+        work=W[I, J],
+        workI=W.sum(axis=1),
+        workJ=W.sum(axis=0),
+        total_work=float(W.sum()),
+    )
+
+
+@given(W=block_work, Pr=st.integers(1, 4), Pc=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_dw_row_balance_within_lpt_factor_of_cyclic(W, Pr, Pc):
+    """On any block-work matrix, the DW/CY map's row balance is at least
+    (1 / (4/3 - 1/(3 Pr))) >= 3/4 of the cyclic map's — the 2-D face of
+    the LPT guarantee, stated on the paper's own balance statistic."""
+    wm = _fake_workmodel(W)
+    grid = ProcessorGrid(Pr, Pc)
+    n = W.shape[0]
+    depth = _depth_for(n)
+    cy = CartesianMap(
+        grid,
+        heuristic_vector("CY", wm.workI, Pr, depth),
+        heuristic_vector("CY", wm.workJ, Pc, depth),
+        label="CY/CY",
+    )
+    dw = CartesianMap(
+        grid,
+        heuristic_vector("DW", wm.workI, Pr, depth),
+        heuristic_vector("CY", wm.workJ, Pc, depth),
+        label="DW/CY",
+    )
+    bal_cy = balance_metrics(wm, cy)
+    bal_dw = balance_metrics(wm, dw)
+    factor = 4.0 / 3.0 - 1.0 / (3.0 * Pr)
+    assert bal_dw.row + 1e-9 >= bal_cy.row / factor
+    # Balance statistics are efficiencies: all in (0, 1], overall tightest.
+    for rep in (bal_cy, bal_dw):
+        assert 0.0 < rep.overall <= 1.0 + 1e-12
+        assert rep.overall <= rep.row + 1e-12
+        assert rep.overall <= rep.column + 1e-12

@@ -1,0 +1,215 @@
+"""Conformance tests for the structured runtime trace.
+
+A traced run must tell the same story as the metrics layer: every task
+exactly once, per-worker event order coherent, message counts/bytes equal
+to both the measured RunMetrics and the static communication-volume
+prediction, and the trace-replay validator must reconcile all of it
+exactly on fault-free runs. Chaos runs must leave fault/recovery
+fingerprints in the trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comm_volume import communication_volume
+from repro.analysis.trace_replay import replay_trace, validate_trace
+from repro.runtime import (
+    CrashSpec,
+    FaultPlan,
+    mp_block_cholesky,
+    plan_owners,
+    run_with_recovery,
+)
+from repro.runtime.trace import DEFAULT_CAPACITY, RunTrace, TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def traced_run(grid12_pipeline):
+    """One fault-free traced P=2 run, shared across the module."""
+    _, sf, _, bs, wm, tg = grid12_pipeline
+    owners, name = plan_owners(wm, tg, 2, "DW/CY")
+    res = mp_block_cholesky(
+        bs, sf.A, tg, nprocs=2, mapping="DW/CY", trace=True
+    )
+    return res, tg, owners
+
+
+class TestFaultFreeConformance:
+    def test_trace_present_and_complete(self, traced_run):
+        res, tg, owners = traced_run
+        tr = res.trace
+        assert tr is not None
+        assert tr.total_dropped == 0
+        assert tr.attempts == [0]
+        assert tr.nprocs == 2
+        assert tr.meta["mapping"] == "DW/CY"
+
+    def test_every_task_exactly_once(self, traced_run):
+        res, tg, owners = traced_run
+        tids = [
+            e.args["tid"] for e in res.trace.events if e.cat == "task"
+        ]
+        assert len(tids) == tg.ntasks
+        assert len(set(tids)) == tg.ntasks
+        assert sorted(tids) == list(range(tg.ntasks))
+
+    def test_tasks_ran_on_their_owner(self, traced_run):
+        res, tg, owners = traced_run
+        for e in res.trace.events:
+            if e.cat == "task":
+                assert e.rank == owners[e.args["block"]]
+
+    def test_per_worker_event_order_monotone(self, traced_run):
+        res, tg, owners = traced_run
+        for rank, events in res.trace.per_worker(0).items():
+            ends = [e.t1 for e in events]
+            assert all(a <= b for a, b in zip(ends, ends[1:]))
+            assert all(e.t0 <= e.t1 for e in events)
+
+    def test_messages_match_metrics_and_prediction(self, traced_run):
+        res, tg, owners = traced_run
+        rep = replay_trace(res.trace)
+        met = res.metrics
+        assert int(rep.messages_sent.sum()) == met.messages_total
+        assert int(rep.bytes_sent.sum()) == met.bytes_total
+        predicted = communication_volume(tg, owners)
+        assert int(rep.messages_sent.sum()) == predicted.messages
+        assert int(rep.bytes_sent.sum()) == predicted.bytes
+        # Conservation inside the run: every sent frame was received.
+        assert int(rep.messages_received.sum()) == met.messages_total
+
+    def test_replay_reconciles_exactly(self, traced_run):
+        res, tg, owners = traced_run
+        report = validate_trace(
+            res.trace, metrics=res.metrics, tg=tg, owners=owners,
+            strict=True,
+        )
+        assert report.ok
+        rep = report.replay
+        for w in res.metrics.workers:
+            # Bitwise-equal float sums: the trace mirrors every timeline
+            # segment with identical endpoints in identical order.
+            assert rep.busy_s[w.rank] == w.busy_s
+            assert rep.comm_s[w.rank] == w.comm_s
+            assert rep.idle_s[w.rank] == w.idle_s
+            assert rep.work[w.rank] == w.work_executed
+        assert abs(rep.work_balance - res.metrics.work_balance) < 1e-9
+
+    def test_trace_counters_in_metrics(self, traced_run):
+        res, tg, owners = traced_run
+        for w in res.metrics.workers:
+            per_rank = [
+                e for e in res.trace.events if e.rank == w.rank
+            ]
+            assert w.trace_events == len(per_rank)
+            assert w.trace_dropped == 0
+
+    def test_serialization_round_trip(self, traced_run, tmp_path):
+        res, tg, owners = traced_run
+        path = tmp_path / "run.trace.json"
+        res.trace.dump(path)
+        back = RunTrace.load(path)
+        assert back.meta == res.trace.meta
+        assert back.events == res.trace.events
+        rep = validate_trace(back, metrics=res.metrics, strict=True)
+        assert rep.ok
+
+    def test_chrome_export_shape(self, traced_run):
+        res, tg, owners = traced_run
+        doc = res.trace.to_chrome()
+        events = doc["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        metas = [e for e in events if e.get("ph") == "M"]
+        assert len(spans) == sum(
+            1 for e in res.trace.events if e.cat != "mark"
+        )
+        assert {m["args"]["name"] for m in metas} >= {
+            "worker 0", "worker 1",
+        }
+        for s in spans:
+            assert s["dur"] >= 0
+            assert s["tid"] in (0, 1)
+
+    def test_gantt_renders(self, traced_run):
+        res, tg, owners = traced_run
+        chart = res.trace.gantt(width=48)
+        assert "w0" in chart and "w1" in chart
+        assert "#" in chart  # some busy time is always visible
+
+
+class TestTracingOff:
+    def test_no_trace_by_default(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = mp_block_cholesky(bs, sf.A, tg, nprocs=2, mapping="cyclic")
+        assert res.trace is None
+        assert all(w.trace_events == 0 for w in res.metrics.workers)
+
+    def test_capacity_validation(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        with pytest.raises(ValueError):
+            mp_block_cholesky(
+                bs, sf.A, tg, nprocs=2, mapping="cyclic", trace=-4
+            )
+
+    def test_ring_drops_oldest(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.mark(f"m{i}", float(i))
+        snap = rec.snapshot(rank=0)
+        assert snap.dropped == 6
+        assert [name for _cat, name, *_ in snap.events] == [
+            "m6", "m7", "m8", "m9",
+        ]
+
+    def test_default_capacity_is_large(self):
+        assert DEFAULT_CAPACITY >= 1 << 16
+
+
+class TestChaosTraces:
+    def test_corrupt_frames_leave_fingerprints(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        plan = FaultPlan(seed=123, corrupt=0.08)
+        res = mp_block_cholesky(
+            bs, sf.A, tg, nprocs=2, mapping="cyclic",
+            fault_plan=plan, trace=True,
+        )
+        tr = res.trace
+        names = {e.name for e in tr.events}
+        injected = res.metrics.faults_injected_total.get("corrupt", 0)
+        assert injected > 0, "plan injected nothing; raise the rate"
+        assert "frame_rejected" in names
+        assert "nack_sent" in names
+        assert "retransmit" in names
+        rejected = sum(1 for e in tr.events if e.name == "frame_rejected")
+        assert rejected == res.metrics.frames_rejected_total
+        retrans = sum(1 for e in tr.events if e.name == "retransmit")
+        assert retrans == res.metrics.retransmits_total
+        # Replay still structurally sound, with relaxed accounting.
+        rep = validate_trace(tr, metrics=res.metrics, faulty=True)
+        assert rep.ok, rep.failures
+
+    def test_crash_recovery_stitches_attempts(self, grid12_pipeline):
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        plan = FaultPlan(seed=7, crash=(CrashSpec(rank=1, after_tasks=5),))
+        res = run_with_recovery(
+            bs, sf.A, tg, nprocs=2, mapping="cyclic",
+            fault_plan=plan, trace=True,
+        )
+        assert res.failure_report.outcome == "recovered"
+        tr = res.trace
+        assert tr.attempts == [0, 1]
+        marks = {e.name for e in tr.events if e.cat == "mark"}
+        # The salvaged attempt-0 trace carries the crash and the abort
+        # fan-out; the restarted attempt preloads the checkpoint.
+        assert "crash" in marks
+        assert "abort_sent" in marks or "abort_recv" in marks
+        assert "checkpoint_load" in marks
+        crash_events = [e for e in tr.events if e.name == "crash"]
+        assert all(e.attempt == 0 for e in crash_events)
+        loads = [e for e in tr.events if e.name == "checkpoint_load"]
+        assert all(e.attempt == 1 for e in loads)
+        # The final attempt's replay is still coherent.
+        rep = validate_trace(tr, attempt=1, faulty=True)
+        assert rep.ok, rep.failures
