@@ -1,10 +1,24 @@
 #!/usr/bin/env python
 """Seed the real-execution perf trajectory: run the message-passing runtime
-on benchmark problems, cyclic vs DW remapping, nprocs in {2, 4}, and write
-wall-clock plus per-worker imbalance to BENCH_runtime.json.
+on benchmark problems, cyclic vs DW remapping, inline vs shared-memory
+transport, nprocs in {2, 4}, and write wall-clock plus per-worker imbalance
+to BENCH_runtime.json.
+
+Methodology notes (see docs/PERFORMANCE.md):
+
+* wall times are the best of ``--repeat N`` runs (min-of-N filters scheduler
+  noise on shared machines);
+* the report records both ``os.cpu_count()`` and the *affinity-visible* CPU
+  count — on cgroup-limited containers they disagree, and any run with more
+  workers than affinity slots is flagged ``oversubscribed`` (its wall times
+  measure time-sliced, not parallel, execution);
+* each result row carries its ``transport`` and both byte counters:
+  ``bytes`` (logical — what the static predictor charges) and
+  ``wire_bytes`` (actually transported; 64 per data message on shm).
 
 Usage: python scripts/bench_runtime.py [--scale small|medium|paper]
-       [--problems GRID150,BCSSTK15] [--nprocs 2,4] [--out BENCH_runtime.json]
+       [--problems GRID150,BCSSTK15] [--nprocs 2,4] [--repeat 3]
+       [--transports inline,shm] [--out BENCH_runtime.json]
 """
 
 from __future__ import annotations
@@ -20,15 +34,28 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.pipeline import prepare_problem  # noqa: E402
-from repro.runtime import plan_owners, run_mp_fanout  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    plan_owners,
+    run_mp_fanout,
+    shm_available,
+)
 
 DEFAULT_PROBLEMS = ("GRID150", "BCSSTK15")
 DEFAULT_NPROCS = (2, 4)
 MAPPINGS = ("cyclic", "DW/CY")
 
 
+def affinity_cpus() -> int | None:
+    """CPUs this process may actually run on (None where unsupported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return None
+
+
 def bench_one(
-    prep, nprocs: int, mapping: str, repeats: int, trace_out: str | None = None
+    prep, nprocs: int, mapping: str, transport: str, repeats: int,
+    oversubscribed: bool, trace_out: str | None = None,
 ) -> dict:
     owners, name = plan_owners(prep.workmodel, prep.taskgraph, nprocs, mapping)
     best = None
@@ -36,11 +63,13 @@ def bench_one(
         res = run_mp_fanout(
             prep.structure, prep.symbolic.A, prep.taskgraph, owners, nprocs,
             mapping=name, record_timeline=False, trace=bool(trace_out),
+            transport=transport,
         )
         if best is None or res.metrics.wall_s < best.metrics.wall_s:
             best = res
     if trace_out and best.trace is not None:
-        slug = f"{prep.name}.p{nprocs}.{name.replace('/', '-').lower()}"
+        slug = (f"{prep.name}.p{nprocs}.{name.replace('/', '-').lower()}"
+                f".{best.metrics.transport}")
         root, dot, ext = trace_out.rpartition(".")
         path = f"{root}.{slug}.{ext}" if dot else f"{trace_out}.{slug}"
         best.trace.meta["problem"] = prep.name
@@ -52,10 +81,14 @@ def bench_one(
     return {
         "mapping": name,
         "nprocs": nprocs,
+        "transport": met.transport,
+        "oversubscribed": oversubscribed,
+        "repeats": repeats,
         "wall_s": met.wall_s,
         "residual": residual,
         "messages": met.messages_total,
         "bytes": met.bytes_total,
+        "wire_bytes": met.wire_bytes_total,
         "work_balance": met.work_balance,
         "work_imbalance": met.work_imbalance,
         "measured_balance": met.measured_balance,
@@ -72,28 +105,48 @@ def main(argv=None) -> int:
     ap.add_argument("--problems", default=",".join(DEFAULT_PROBLEMS))
     ap.add_argument("--nprocs", default=",".join(map(str, DEFAULT_NPROCS)))
     ap.add_argument("--block-size", type=int, default=32)
-    ap.add_argument("--repeats", type=int, default=3,
+    ap.add_argument("--repeat", "--repeats", dest="repeats", type=int,
+                    default=3, metavar="N",
                     help="take the best wall clock of N runs")
+    ap.add_argument("--transports", default=None,
+                    help="comma-separated transports to sweep "
+                         "(default: inline,shm when shared memory is "
+                         "available, else inline)")
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     ))
     ap.add_argument("--trace-out", default=None, metavar="PATH",
                     help="also record structured traces (best run per "
                          "configuration), named PATH with a "
-                         "problem/P/mapping slug inserted")
+                         "problem/P/mapping/transport slug inserted")
     args = ap.parse_args(argv)
 
     problems = [p.strip() for p in args.problems.split(",") if p.strip()]
     nprocs_list = [int(p) for p in args.nprocs.split(",")]
+    if args.transports:
+        transports = [t.strip() for t in args.transports.split(",")
+                      if t.strip()]
+    else:
+        transports = ["inline", "shm"] if shm_available() else ["inline"]
+
+    affinity = affinity_cpus()
+    usable = affinity if affinity is not None else os.cpu_count()
     report = {
         "benchmark": "runtime",
         "scale": args.scale,
         "block_size": args.block_size,
+        "repeats": args.repeats,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "affinity_cpus": affinity,
+        "transports": transports,
         "runs": [],
     }
+    if usable is not None and max(nprocs_list) > usable:
+        print(f"WARNING: benching up to {max(nprocs_list)} workers on "
+              f"{usable} affinity-visible CPUs — oversubscribed runs "
+              f"measure time-sliced execution, not parallel speedup")
     for name in problems:
         prep = prepare_problem(name, args.scale, args.block_size)
         entry = {
@@ -104,23 +157,29 @@ def main(argv=None) -> int:
             "results": [],
         }
         for nprocs in nprocs_list:
+            over = usable is not None and nprocs > usable
             for mapping in MAPPINGS:
-                r = bench_one(
-                    prep, nprocs, mapping, args.repeats,
-                    trace_out=args.trace_out,
-                )
-                entry["results"].append(r)
-                print(
-                    f"{prep.name:<10s} P={nprocs} {r['mapping']:<8s} "
-                    f"wall={r['wall_s'] * 1e3:8.1f} ms "
-                    f"work_imbalance={r['work_imbalance']:.3f} "
-                    f"msgs={r['messages']}"
-                )
+                for transport in transports:
+                    r = bench_one(
+                        prep, nprocs, mapping, transport, args.repeats,
+                        oversubscribed=over, trace_out=args.trace_out,
+                    )
+                    entry["results"].append(r)
+                    print(
+                        f"{prep.name:<10s} P={nprocs} {r['mapping']:<8s} "
+                        f"{r['transport']:<6s} "
+                        f"wall={r['wall_s'] * 1e3:8.1f} ms "
+                        f"work_imbalance={r['work_imbalance']:.3f} "
+                        f"msgs={r['messages']} "
+                        f"wire={r['wire_bytes'] / 1e6:.2f} MB"
+                        + (" [oversubscribed]" if over else "")
+                    )
         # The paper's headline, measured on real execution.
         for nprocs in nprocs_list:
-            rs = {r["mapping"]: r for r in entry["results"]
-                  if r["nprocs"] == nprocs}
-            cyc, dw = rs.get("cyclic"), rs.get("DW/CY")
+            rs = {(r["mapping"], r["transport"]): r
+                  for r in entry["results"] if r["nprocs"] == nprocs}
+            cyc = rs.get(("cyclic", transports[0]))
+            dw = rs.get(("DW/CY", transports[0]))
             if cyc and dw:
                 print(
                     f"  -> P={nprocs}: DW work_imbalance "
@@ -128,6 +187,19 @@ def main(argv=None) -> int:
                     f"{cyc['work_imbalance']:.3f} "
                     f"({'better' if dw['work_imbalance'] <= cyc['work_imbalance'] else 'WORSE'})"
                 )
+            # The transport headline: shm vs inline wall time per mapping.
+            for mapping in MAPPINGS:
+                a = rs.get((mapping, "inline"))
+                b = rs.get((mapping, "shm"))
+                if a and b:
+                    speedup = a["wall_s"] / b["wall_s"] if b["wall_s"] else 0
+                    print(
+                        f"  -> P={nprocs} {mapping}: shm "
+                        f"{b['wall_s'] * 1e3:.1f} ms vs inline "
+                        f"{a['wall_s'] * 1e3:.1f} ms "
+                        f"({speedup:.2f}x, wire bytes "
+                        f"{b['wire_bytes']} vs {a['wire_bytes']})"
+                    )
         report["runs"].append(entry)
 
     with open(args.out, "w") as fh:

@@ -61,6 +61,11 @@ class TraceReplay:
     bytes_sent: np.ndarray
     messages_received: np.ndarray
     bytes_received: np.ndarray
+    #: Transported bytes (``wire_bytes`` span args): what actually crossed
+    #: the queues. Falls back to the logical ``bytes`` for traces recorded
+    #: before the transport split, so inline traces reconcile either way.
+    wire_bytes_sent: np.ndarray
+    wire_bytes_received: np.ndarray
     retransmits: np.ndarray
     duplicates: np.ndarray
     marks: dict[str, int]
@@ -150,6 +155,8 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
     bsent = np.zeros(nprocs, dtype=np.int64)
     mrecv = np.zeros(nprocs, dtype=np.int64)
     brecv = np.zeros(nprocs, dtype=np.int64)
+    wsent = np.zeros(nprocs, dtype=np.int64)
+    wrecv = np.zeros(nprocs, dtype=np.int64)
     retrans = np.zeros(nprocs, dtype=np.int64)
     dups = np.zeros(nprocs, dtype=np.int64)
     marks: dict[str, int] = {}
@@ -171,13 +178,17 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
             comm[r] += e.t1 - e.t0
             if e.args:
                 n = len(e.args.get("targets", ()))
+                nb = int(e.args.get("bytes", 0))
                 msent[r] += n
-                bsent[r] += n * int(e.args.get("bytes", 0))
+                bsent[r] += n * nb
+                wsent[r] += n * int(e.args.get("wire_bytes", nb))
         elif e.cat == "recv":
             comm[r] += e.t1 - e.t0
             mrecv[r] += 1
             if e.args:
-                brecv[r] += int(e.args.get("bytes", 0))
+                nb = int(e.args.get("bytes", 0))
+                brecv[r] += nb
+                wrecv[r] += int(e.args.get("wire_bytes", nb))
             if e.name == "duplicate":
                 dups[r] += 1
         elif e.cat == "comm":
@@ -190,7 +201,9 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
                 retrans[r] += 1
                 msent[r] += 1
                 if e.args:
-                    bsent[r] += int(e.args.get("bytes", 0))
+                    nb = int(e.args.get("bytes", 0))
+                    bsent[r] += nb
+                    wsent[r] += int(e.args.get("wire_bytes", nb))
 
     return TraceReplay(
         attempt=attempt, nprocs=nprocs, grid=grid,
@@ -198,6 +211,7 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
         work=work, flops=flops, tasks=tasks, task_counts=task_counts,
         messages_sent=msent, bytes_sent=bsent,
         messages_received=mrecv, bytes_received=brecv,
+        wire_bytes_sent=wsent, wire_bytes_received=wrecv,
         retransmits=retrans, duplicates=dups, marks=marks,
     )
 
@@ -372,6 +386,21 @@ def validate_trace(
                         f"{int(rep.messages_received[r])}/"
                         f"{int(rep.bytes_received[r])}B != metrics "
                         f"{w.messages_received}/{w.bytes_received}B"
+                    )
+                # Transported bytes reconcile too — but only when the
+                # metrics carry the split (older serialized metrics
+                # predate it and report zero).
+                wsent = getattr(w, "wire_bytes_sent", 0)
+                wrecv = getattr(w, "wire_bytes_received", 0)
+                if (wsent or wrecv) and (
+                    rep.wire_bytes_sent[r] != wsent
+                    or rep.wire_bytes_received[r] != wrecv
+                ):
+                    failures.append(
+                        f"worker {r}: replayed wire bytes "
+                        f"{int(rep.wire_bytes_sent[r])}/"
+                        f"{int(rep.wire_bytes_received[r])} != metrics "
+                        f"{wsent}/{wrecv}"
                     )
         if abs(rep.measured_balance - metrics.measured_balance) > tolerance:
             failures.append(

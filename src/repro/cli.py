@@ -111,8 +111,20 @@ def cmd_bench_real(args) -> int:
 
     from repro.analysis.comm_volume import communication_volume
     from repro.experiments.pipeline import prepare_problem
-    from repro.runtime import plan_owners, run_mp_fanout, validate_runtime
+    from repro.runtime import (
+        plan_owners,
+        run_mp_fanout,
+        shm_available,
+        validate_runtime,
+    )
 
+    transport = getattr(args, "transport", "auto")
+    if transport == "shm" and not shm_available():
+        # Smoke runs on platforms without POSIX shared memory skip
+        # gracefully instead of failing the whole invocation.
+        print("transport=shm requested but shared memory is unavailable "
+              "on this platform; skipping")
+        return 0
     prep = prepare_problem(args.problem, args.scale, args.block_size)
     mappings = [m.strip() for m in args.mappings.split(",") if m.strip()]
     policy = None if args.policy == "fifo" else args.policy
@@ -126,7 +138,7 @@ def cmd_bench_real(args) -> int:
             prep.structure, prep.symbolic.A, prep.taskgraph, owners,
             args.nprocs, policy=policy, mapping=name,
             timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
-            trace=bool(args.trace_out),
+            trace=bool(args.trace_out), transport=transport,
         )
         met = res.metrics
         met.problem = prep.name
@@ -144,6 +156,8 @@ def cmd_bench_real(args) -> int:
         print(f"  messages        : {met.messages_total} measured / "
               f"{predicted.messages} predicted "
               f"({met.bytes_total / 1e6:.2f} MB)")
+        print(f"  transport       : {met.transport} "
+              f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
         print("  per-worker breakdown:")
         print("    " + met.render().replace("\n", "\n    "))
         if args.validate:
@@ -251,6 +265,7 @@ def cmd_chaos(args) -> int:
                 timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
                 renegotiate_base_s=0.05, renegotiate_cap_s=0.5,
                 max_renegotiations=6, dead_grace_s=5.0,
+                transport=getattr(args, "transport", "auto"),
             )
             rep = res.failure_report
             L = res.to_csc()
@@ -411,6 +426,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate", action="store_true",
                    help="also check numerics/messages/work against the "
                         "models")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "inline"),
+                   help="block payload transport: shared-memory arena "
+                        "with 64-byte descriptors, inline frame bytes, "
+                        "or auto-detect")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write per-mapping metrics JSON to PATH")
     p.add_argument("--trace-out", default=None, metavar="PATH",
@@ -441,6 +461,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="fault-plan seed (decisions are reproducible)")
     p.add_argument("--mapping", default="DW/CY")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "inline"),
+                   help="block payload transport for the chaos runs")
     p.add_argument("--max-restarts", type=int, default=2,
                    help="restart budget before the sequential fallback")
     p.add_argument("--timeout", type=float, default=120.0, metavar="S",

@@ -17,7 +17,22 @@ from scipy import sparse
 
 from repro.blocks.structure import BlockStructure
 from repro.fanout.tasks import BDIV, BFAC, BMOD, TaskGraph
-from repro.numeric.dense_kernels import bdiv_kernel, bfac_kernel, bmod_kernel
+from repro.numeric.dense_kernels import (
+    bdiv_kernel,
+    bfac_kernel,
+    bmod_kernel,
+    bmod_kernel_into,
+)
+
+
+def _span(idx: np.ndarray) -> tuple[int, int] | None:
+    """``(lo, hi)`` when sorted ``idx`` is the contiguous run
+    ``lo..hi-1``, else None."""
+    lo = int(idx[0])
+    hi = int(idx[-1]) + 1
+    if hi - lo == idx.shape[0]:
+        return lo, hi
+    return None
 
 
 class BlockCholesky:
@@ -94,8 +109,6 @@ class BlockCholesky:
         """Apply ``L_IJ -= L_IK L_JK^T`` with row/column scattering."""
         L_IK = self.below[k][i]
         L_JK = self.below[k][j]
-        U, f = bmod_kernel(L_IK, L_JK)
-        self.flops += f
         part = self.partition
         st = self.structure
         rows_I = self._block_rows(i, k)
@@ -103,7 +116,8 @@ class BlockCholesky:
         c0_j = int(part.panel_ptr[j])
         cols = rows_J - c0_j  # destination columns within panel j
         if i == j:
-            self.diag[j][np.ix_(rows_I - c0_j, cols)] -= U
+            dest = self.diag[j]
+            ridx = rows_I - c0_j
         else:
             dest_rows = st.rows_below[j]
             pos = np.searchsorted(dest_rows, rows_I)
@@ -112,7 +126,19 @@ class BlockCholesky:
             splits = st.row_splits[j]
             t = int(np.searchsorted(st.block_rows[j], i))
             lo = int(splits[t])
-            self.below[j][i][np.ix_(pos - lo, cols)] -= U
+            dest = self.below[j][i]
+            ridx = pos - lo
+        rs, cs = _span(ridx), _span(cols)
+        if rs is not None and cs is not None:
+            out = dest[rs[0] : rs[1], cs[0] : cs[1]]
+            if out.flags.c_contiguous and out.flags.writeable:
+                # Contiguous destination window (the common dense case):
+                # one fused dgemm, no update temporary, no scatter.
+                self.flops += bmod_kernel_into(L_IK, L_JK, out)
+                return
+        U, f = bmod_kernel(L_IK, L_JK)
+        self.flops += f
+        dest[np.ix_(ridx, cols)] -= U
 
     def _block_rows(self, i: int, k: int) -> np.ndarray:
         st = self.structure

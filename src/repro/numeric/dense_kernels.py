@@ -1,14 +1,21 @@
 """Dense block kernels.
 
 These are the Level-3 BLAS operations of §3.1 — the paper uses hand-tuned
-DPOTRF/DTRSM/DGEMM; we use numpy's BLAS bindings. Each kernel returns its
-flop count so callers can cross-check the work model.
+DPOTRF/DTRSM/DGEMM; we call the same LAPACK/BLAS routines through scipy,
+with ``overwrite_*=True`` / ``check_finite=False`` so no kernel allocates
+or scans a scratch copy of its operands. Each kernel returns its flop
+count so callers can cross-check the work model.
+
+All call sites (the sequential :class:`~repro.numeric.blockfact.BlockCholesky`
+and every runtime worker, on either transport) share these kernels, so a
+given task order produces bitwise-identical blocks everywhere.
 """
 
 from __future__ import annotations
 
 import numpy as np
 from scipy import linalg as sla
+from scipy.linalg.blas import dgemm
 
 from repro.blocks.workmodel import chol_flops
 
@@ -16,21 +23,27 @@ from repro.blocks.workmodel import chol_flops
 def bfac_kernel(D: np.ndarray) -> tuple[np.ndarray, int]:
     """BFAC: dense Cholesky of a diagonal block. Returns (L, flops).
 
-    ``D`` must be symmetric positive definite (full square storage); the
-    result is lower triangular.
+    ``D`` must be symmetric positive definite (full square storage) and is
+    consumed: LAPACK ``dpotrf`` factors it in place (the returned array
+    shares ``D``'s buffer, strictly-upper triangle zeroed).
     """
-    L = np.linalg.cholesky(D)
-    return L, chol_flops(D.shape[0])
+    L = sla.cholesky(D, lower=True, overwrite_a=True, check_finite=False)
+    return L, chol_flops(L.shape[0])
 
 
 def bdiv_kernel(B: np.ndarray, L_KK: np.ndarray) -> tuple[np.ndarray, int]:
     """BDIV: ``B <- B * L_KK^{-T}`` (triangular solve from the right).
 
     ``B`` is the r x w subdiagonal block, ``L_KK`` the factored w x w
-    diagonal. flops = r * w^2.
+    diagonal. ``B`` is consumed: ``B.T`` of a C-contiguous block is
+    F-contiguous, so the solve happens in place and the result shares
+    ``B``'s buffer. flops = r * w^2.
     """
-    out = sla.solve_triangular(L_KK, B.T, lower=True, trans="N").T
-    r, w = B.shape
+    out = sla.solve_triangular(
+        L_KK, B.T, lower=True, trans="N",
+        overwrite_b=True, check_finite=False,
+    ).T
+    r, w = out.shape
     return np.ascontiguousarray(out), r * w * w
 
 
@@ -38,9 +51,32 @@ def bmod_kernel(L_IK: np.ndarray, L_JK: np.ndarray) -> tuple[np.ndarray, int]:
     """BMOD update term ``L_IK @ L_JK^T``. Returns (U, flops).
 
     The caller subtracts U from the destination block at the right row and
-    column positions. flops = 2 * r_I * r_J * w.
+    column positions (the scatter path — when the destination rows are not
+    contiguous, see :func:`bmod_kernel_into`). flops = 2 * r_I * r_J * w.
     """
     U = L_IK @ L_JK.T
     rI, w = L_IK.shape
     rJ = L_JK.shape[0]
     return U, 2 * rI * rJ * w
+
+
+def bmod_kernel_into(
+    L_IK: np.ndarray, L_JK: np.ndarray, out: np.ndarray
+) -> int:
+    """BMOD applied in place: ``out -= L_IK @ L_JK^T``. Returns flops.
+
+    Single fused ``dgemm`` (alpha=-1, beta=1) accumulating straight into
+    the destination — no update-term temporary, no scatter. ``out`` must be
+    a C-contiguous writable slice of the destination block covering exactly
+    the update's rows and columns; ``out.T`` is then F-contiguous, and
+    BLAS computes ``out.T -= L_JK @ L_IK^T`` without copying ``c``.
+    """
+    res = dgemm(
+        alpha=-1.0, a=L_JK, b=L_IK, trans_b=1,
+        beta=1.0, c=out.T, overwrite_c=1,
+    )
+    if not np.shares_memory(res, out):  # pragma: no cover - layout guard
+        out[:] = res.T
+    rI, w = L_IK.shape
+    rJ = L_JK.shape[0]
+    return 2 * rI * rJ * w

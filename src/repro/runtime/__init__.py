@@ -12,7 +12,8 @@ against the sequential factorization, the static communication-volume
 predictor, and the work model.
 
 Layers: :mod:`~repro.runtime.wire` (block serialization, CRC32 integrity),
-:mod:`~repro.runtime.links` (the interconnect stand-in),
+:mod:`~repro.runtime.arena` (the zero-copy shared-memory block transport),
+:mod:`~repro.runtime.links` (the interconnect stand-in, frame coalescing),
 :mod:`~repro.runtime.scheduler` (per-worker ready queues),
 :mod:`~repro.runtime.worker` (the event loop),
 :mod:`~repro.runtime.engine` (process orchestration),
@@ -22,6 +23,13 @@ Layers: :mod:`~repro.runtime.wire` (block serialization, CRC32 integrity),
 :mod:`~repro.runtime.metrics` and :mod:`~repro.runtime.validation`.
 """
 
+from repro.runtime.arena import (
+    TRANSPORTS,
+    ArenaLayout,
+    BlockArena,
+    resolve_transport,
+    shm_available,
+)
 from repro.runtime.engine import (
     DeadWorkerError,
     FanoutError,
@@ -62,6 +70,11 @@ from repro.runtime.wire import CorruptFrameError, WireError
 from repro.runtime.worker import Worker, WorkerResult
 
 __all__ = [
+    "TRANSPORTS",
+    "ArenaLayout",
+    "BlockArena",
+    "resolve_transport",
+    "shm_available",
     "DeadWorkerError",
     "FanoutError",
     "MPRuntimeResult",

@@ -1,0 +1,311 @@
+"""Shared-memory block arena: the zero-copy transport backing store.
+
+One POSIX shared-memory segment per run holds every factor block in a
+pre-assigned *slot*. The slot map (:class:`ArenaLayout`) is a pure function
+of the :class:`~repro.fanout.tasks.TaskGraph`, so the driver and every
+worker compute byte-identical layouts independently — no layout metadata
+ever travels on a link. A worker that completes a block writes it straight
+into its slot and fans out a 64-byte ``BLOCK_REF`` descriptor
+(:func:`repro.runtime.wire.pack_block_ref`) naming the slot; consumers map
+the slot read-only with ``np.ndarray(buffer=shm.buf, ...)`` and apply
+``bmod`` against it with zero payload copies.
+
+Integrity: the descriptor carries a CRC32 of the slot bytes at send time.
+:meth:`BlockArena.resolve` recomputes it on receipt, so a corrupted slot
+(or a descriptor whose slot metadata was bit-flipped in flight — the frame
+header CRC covers that) surfaces as the same
+:class:`~repro.runtime.wire.CorruptFrameError` → NACK → retransmit path the
+inline transport uses.
+
+Storage: slots are row-major float64. Diagonal blocks are stored as the
+full ``w x w`` square (zero upper triangle), exactly the array the inline
+transport reconstructs in ``wire.unpack``; the *logical* payload is still
+the packed lower triangle, and descriptors charge
+``tg.block_words[b]`` words so logical byte accounting is transport
+independent.
+
+Lifecycle: the driver creates the arena (:meth:`BlockArena.create`) and
+unlinks it in the engine's ``finally`` (:meth:`BlockArena.destroy`), even
+on crash/abort paths — workers only ever attach (:meth:`BlockArena.attach`)
+and never unlink, so no ``/dev/shm`` segment outlives a run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+
+import numpy as np
+
+from repro.runtime import wire
+
+__all__ = [
+    "ArenaLayout",
+    "BlockArena",
+    "shm_available",
+    "resolve_transport",
+    "TRANSPORTS",
+]
+
+#: Accepted values for the engine's ``transport`` parameter.
+TRANSPORTS = ("auto", "shm", "inline")
+
+_SHM_PROBED: bool | None = None
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` works on this platform.
+
+    Probes once per process by creating (and immediately unlinking) a tiny
+    segment; the result is cached.
+    """
+    global _SHM_PROBED
+    if _SHM_PROBED is None:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(create=True, size=8)
+            seg.close()
+            seg.unlink()
+            _SHM_PROBED = True
+        except Exception:
+            _SHM_PROBED = False
+    return _SHM_PROBED
+
+
+def resolve_transport(transport: str, nprocs: int) -> str:
+    """Resolve a requested transport to a concrete one.
+
+    ``"auto"`` picks ``"shm"`` when shared memory works and there is more
+    than one worker (a single worker never fans out, and the gather alone
+    does not justify a segment), else ``"inline"``. An explicit ``"shm"``
+    raises when the platform cannot honor it.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if transport == "inline":
+        return "inline"
+    if transport == "auto" and nprocs < 2:
+        return "inline"
+    if shm_available():
+        return "shm"
+    if transport == "shm":
+        raise RuntimeError(
+            "transport='shm' requested but multiprocessing.shared_memory is "
+            "unavailable on this platform; use transport='auto' to fall "
+            "back to the inline transport"
+        )
+    return "inline"
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker registration.
+
+    The driver owns the segment's lifetime; if workers registered their
+    attachments, each worker's resource tracker would try to unlink the
+    segment at exit (and warn about a leak), racing the driver's cleanup.
+    Python 3.13+ has ``track=False`` for exactly this; on older versions we
+    suppress the registration call during attach (register/unregister pairs
+    are unsafe under fork, where all workers share one tracker process and
+    the tracker's name cache is a set, not a refcount).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    orig_register = resource_tracker.register
+
+    def _no_register(rname, rtype):
+        if rtype != "shared_memory":  # pragma: no cover - not hit in attach
+            orig_register(rname, rtype)
+
+    resource_tracker.register = _no_register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig_register
+
+
+class ArenaLayout:
+    """Deterministic block -> slot map derived from a :class:`TaskGraph`.
+
+    Slot ``b`` stores the dense row-major float64 array for global block
+    ``b``: the full ``w x w`` square for a diagonal block, the stacked
+    ``rows x w`` rectangle for a subdiagonal block. ``logical_words[b]``
+    is ``tg.block_words[b]`` — what the wire contract (and the static
+    predictor) charges for the block, independent of storage.
+    """
+
+    __slots__ = ("nblocks", "rows", "cols", "diag", "offsets",
+                 "logical_words", "block_I", "block_J", "total_bytes")
+
+    def __init__(self, tg):
+        part = tg.workmodel.structure.partition
+        widths = np.asarray(part.widths, dtype=np.int64)
+        I = np.asarray(tg.block_I, dtype=np.int64)
+        J = np.asarray(tg.block_J, dtype=np.int64)
+        diag = I == J
+        cols = widths[J]
+        logical = np.asarray(tg.block_words, dtype=np.int64)
+        stored = np.where(diag, cols * cols, logical)
+        rows = stored // np.maximum(cols, 1)
+        self.nblocks = int(I.shape[0])
+        self.rows = rows
+        self.cols = cols
+        self.diag = diag
+        self.logical_words = logical
+        self.block_I = I
+        self.block_J = J
+        self.offsets = np.zeros(self.nblocks + 1, dtype=np.int64)
+        np.cumsum(stored * 8, out=self.offsets[1:])
+        self.total_bytes = int(self.offsets[-1])
+
+
+class BlockArena:
+    """A shared-memory segment holding one slot per factor block."""
+
+    def __init__(self, layout: ArenaLayout, shm, owner: bool):
+        self.layout = layout
+        self.shm = shm
+        self.owner = owner
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @classmethod
+    def create(cls, tg) -> "BlockArena":
+        """Driver side: allocate the segment (layout computed from ``tg``)."""
+        from multiprocessing import shared_memory
+
+        layout = ArenaLayout(tg)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, layout.total_bytes)
+        )
+        return cls(layout, shm, owner=True)
+
+    @classmethod
+    def attach(cls, tg, name: str) -> "BlockArena":
+        """Worker side: map the driver's segment (never unlinks it)."""
+        layout = ArenaLayout(tg)
+        shm = _attach_untracked(name)
+        if shm.size < layout.total_bytes:
+            raise ValueError(
+                f"arena segment {name!r} is {shm.size} bytes, layout "
+                f"needs {layout.total_bytes}"
+            )
+        return cls(layout, shm, owner=False)
+
+    # -- slot access ----------------------------------------------------
+
+    def _view(self, b: int) -> np.ndarray:
+        lay = self.layout
+        return np.ndarray(
+            (int(lay.rows[b]), int(lay.cols[b])),
+            dtype=np.float64,
+            buffer=self.shm.buf,
+            offset=int(lay.offsets[b]),
+        )
+
+    def write(self, b: int, array: np.ndarray) -> None:
+        """Copy a completed block into its slot (the producer's one copy)."""
+        np.copyto(self._view(b), array, casting="same_kind")
+
+    def view(self, b: int) -> np.ndarray:
+        """Read-only zero-copy mapping of slot ``b`` (the consumer side)."""
+        v = self._view(b)
+        v.flags.writeable = False
+        return v
+
+    def read(self, b: int) -> np.ndarray:
+        """A private copy of slot ``b`` (driver gather; outlives the arena)."""
+        return self._view(b).copy()
+
+    def checksum(self, b: int) -> int:
+        """CRC32 over slot ``b``'s bytes — the descriptor's payload CRC."""
+        lay = self.layout
+        off = int(lay.offsets[b])
+        n = int(lay.rows[b]) * int(lay.cols[b]) * 8
+        return zlib.crc32(self.shm.buf[off:off + n])
+
+    # -- wire integration ----------------------------------------------
+
+    def pack_ref(self, src: int, b: int) -> bytes:
+        """Build the 64-byte descriptor frame for slot ``b``."""
+        lay = self.layout
+        return wire.pack_block_ref(
+            src, b,
+            int(lay.rows[b]), int(lay.cols[b]),
+            int(lay.logical_words[b]),
+            int(lay.offsets[b]),
+            self.checksum(b),
+        )
+
+    def resolve(self, msg: wire.WireMessage) -> wire.WireMessage:
+        """Turn a ``BLOCK_REF`` descriptor into a BLOCK message whose
+        payload is the read-only slot view.
+
+        Raises :class:`~repro.runtime.wire.CorruptFrameError` when the
+        descriptor's slot metadata disagrees with the layout or the slot
+        bytes fail the descriptor's payload CRC — both funnel into the
+        same NACK/retransmit recovery path as inline payload corruption.
+        """
+        lay = self.layout
+        b = msg.block
+        if not (
+            0 <= b < lay.nblocks
+            and msg.offset == int(lay.offsets[b])
+            and msg.rows == int(lay.rows[b])
+            and msg.cols == int(lay.cols[b])
+            and msg.words == int(lay.logical_words[b])
+        ):
+            raise wire.CorruptFrameError(
+                f"BLOCK_REF descriptor for block {b} disagrees with the "
+                "arena layout",
+                src=msg.src, block=b,
+            )
+        if msg.payload_crc != self.checksum(b):
+            raise wire.CorruptFrameError(
+                f"arena slot CRC mismatch for block {b} "
+                f"(descriptor {msg.payload_crc:#010x})",
+                src=msg.src, block=b,
+            )
+        return replace(msg, kind=wire.BLOCK, payload=self.view(b))
+
+    def inline_frame(self, frame: bytes) -> bytes:
+        """Convert a ``BLOCK_REF`` frame into the byte-identical inline
+        ``BLOCK`` frame (checkpoint harvest / error paths: the salvaged
+        frames must outlive the arena)."""
+        if wire.frame_kind(frame) != wire.BLOCK_REF:
+            return frame
+        msg = wire.unpack(frame)
+        lay = self.layout
+        b = msg.block
+        return wire.pack_block(
+            msg.src, b, int(lay.block_I[b]), int(lay.block_J[b]),
+            self._view(b),
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap this process's view (safe to call repeatedly)."""
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - outstanding ndarray views
+            pass
+
+    def destroy(self) -> None:
+        """Driver-side teardown: unmap and unlink the segment."""
+        self.close()
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -142,8 +142,20 @@ def run_mp_fanout(
     renegotiate_cap_s: float = 2.0,
     max_renegotiations: int = 8,
     retransmit_limit: int = 5,
+    transport: str = "auto",
 ) -> MPRuntimeResult:
     """Factor ``A`` with ``nprocs`` worker processes exchanging messages.
+
+    ``transport`` selects how block payloads travel: ``"inline"`` packs
+    them into the queue frames; ``"shm"`` moves them through a per-run
+    shared-memory arena (64-byte descriptor frames, zero payload copies on
+    the consumer side, coalesced queue puts); ``"auto"`` (the default)
+    picks shm when the platform supports it and there is more than one
+    worker. Logical message/byte accounting is identical across transports
+    — only ``wire_bytes`` metrics differ. The arena is unlinked in every
+    exit path; salvaged checkpoint frames carried by a raised
+    :class:`FanoutError` are converted to inline frames first so they
+    outlive the arena.
 
     ``owners[b]`` assigns block ``b`` to a worker (see :func:`plan_owners`).
     ``policy`` is a :mod:`repro.fanout.priorities` name (``"fifo"``,
@@ -192,6 +204,35 @@ def run_mp_fanout(
         start_method = (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
+    from repro.runtime.arena import BlockArena, resolve_transport
+
+    transport = resolve_transport(transport, nprocs)
+    arena = BlockArena.create(tg) if transport == "shm" else None
+    try:
+        return _run(
+            structure, A, tg, owners, nprocs, priorities, timeout_s,
+            stall_timeout_s, poll_s, inject_failure, record_timeline,
+            trace_capacity, start_method, mapping, fault_plan, recovery,
+            checkpoint, dead_grace_s, renegotiate_base_s,
+            renegotiate_cap_s, max_renegotiations, retransmit_limit,
+            transport, arena,
+        )
+    except FanoutError as exc:
+        if arena is not None:
+            _inline_results(exc.results, arena)
+        raise
+    finally:
+        if arena is not None:
+            arena.destroy()
+
+
+def _run(
+    structure, A, tg, owners, nprocs, priorities, timeout_s,
+    stall_timeout_s, poll_s, inject_failure, record_timeline,
+    trace_capacity, start_method, mapping, fault_plan, recovery,
+    checkpoint, dead_grace_s, renegotiate_base_s, renegotiate_cap_s,
+    max_renegotiations, retransmit_limit, transport, arena,
+) -> MPRuntimeResult:
     ctx = mp.get_context(start_method)
     fabric = LinkFabric(nprocs, ctx)
     result_queue = ctx.Queue()
@@ -222,6 +263,8 @@ def run_mp_fanout(
             renegotiate_cap_s=renegotiate_cap_s,
             max_renegotiations=max_renegotiations,
             retransmit_limit=retransmit_limit,
+            transport=transport,
+            arena_name=arena.name if arena is not None else None,
         )
         p = ctx.Process(
             target=worker_main, args=(rank, kwargs), name=f"repro-mp-{rank}"
@@ -288,12 +331,13 @@ def run_mp_fanout(
             failed_ranks=error_ranks,
         )
 
-    factor = _assemble(structure, A, tg, results)
+    factor = _assemble(structure, A, tg, results, arena)
     metrics = RuntimeMetrics(
         nprocs=nprocs,
         wall_s=wall_s,
         workers=[results[r].metrics for r in sorted(results)],
         mapping=mapping,
+        transport=transport,
     )
     run_trace = None
     if trace_capacity:
@@ -308,6 +352,7 @@ def run_mp_fanout(
             "start_method": start_method,
             "recovery": recovery,
             "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
+            "transport": transport,
         },
         trace=run_trace,
     )
@@ -358,18 +403,38 @@ def _reap(procs, grace_s: float = 5.0) -> None:
         p.close()
 
 
-def _assemble(structure, A, tg, results) -> BlockCholesky:
-    """Overwrite a factor shell with the gathered owned blocks."""
+def _inline_results(results: dict, arena) -> None:
+    """Rewrite ref frames in salvaged results as inline frames (the
+    checkpoint they feed must outlive the arena being destroyed)."""
+    for res in results.values():
+        res.frames = [arena.inline_frame(f) for f in res.frames]
+
+
+def _assemble(structure, A, tg, results, arena=None) -> BlockCholesky:
+    """Overwrite a factor shell with the gathered owned blocks.
+
+    On the shm transport the gather frames are descriptors; the payload is
+    copied out of the (still-live) arena here — the driver's only copy.
+    """
     shell = BlockCholesky(structure, A)
     for res in results.values():
         for frame in res.frames:
             msg = wire.unpack(frame)
             b = msg.block
+            if msg.kind == wire.BLOCK_REF:
+                if arena is None:
+                    raise RuntimeError(
+                        f"gathered a BLOCK_REF frame for block {b} "
+                        "without a live arena"
+                    )
+                payload = arena.read(b)
+            else:
+                payload = msg.payload
             I, J = int(tg.block_I[b]), int(tg.block_J[b])
             if I == J:
-                shell.diag[J] = msg.payload
+                shell.diag[J] = payload
             else:
-                shell.below[J][I] = msg.payload
+                shell.below[J][I] = payload
     shell._factored[:] = True
     return shell
 

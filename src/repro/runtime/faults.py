@@ -219,9 +219,9 @@ class FaultyLink(Link):
         buf[offset] ^= 1 << bit
         return bytes(buf)
 
-    def send(self, frame: bytes) -> None:
-        if wire.frame_kind(frame) != wire.BLOCK:
-            super().send(frame)
+    def send(self, frame: bytes, nbytes: int | None = None) -> None:
+        if wire.frame_kind(frame) not in wire.DATA_KINDS:
+            super().send(frame, nbytes)
             return
         plan = self.injector.plan
         block = wire.frame_block(frame)
@@ -230,15 +230,25 @@ class FaultyLink(Link):
         if u[0] < plan.drop:
             # The frame left the NIC (counted) but the fabric ate it.
             self.injector.injected["drop"] += 1
-            self.messages += 1
-            self.bytes += len(frame)
+            self._count(frame, nbytes)
             self._tick_held()
             return
-        if u[1] < plan.corrupt and len(frame) > wire.HEADER_BYTES:
-            self.injector.injected["corrupt"] += 1
-            span = len(frame) - wire.HEADER_BYTES
-            offset = wire.HEADER_BYTES + int(u[5] * span) % span
-            frame = self._flip_bit(frame, offset, int(u[5] * 8) % 8)
+        if u[1] < plan.corrupt:
+            if wire.frame_kind(frame) == wire.BLOCK_REF:
+                # The descriptor carries no payload bytes — the logical
+                # payload's integrity words are the slot metadata (offset +
+                # slot CRC), so that is what "payload corruption" flips.
+                # The frame CRC covers the region, so the receiver rejects
+                # and NACKs exactly like an inline payload flip.
+                self.injector.injected["corrupt"] += 1
+                span = wire.REF_REGION_LEN
+                offset = wire.REF_REGION_START + int(u[5] * span) % span
+                frame = self._flip_bit(frame, offset, int(u[5] * 8) % 8)
+            elif len(frame) > wire.HEADER_BYTES:
+                self.injector.injected["corrupt"] += 1
+                span = len(frame) - wire.HEADER_BYTES
+                offset = wire.HEADER_BYTES + int(u[5] * span) % span
+                frame = self._flip_bit(frame, offset, int(u[5] * 8) % 8)
         elif u[2] < plan.corrupt_header:
             self.injector.injected["corrupt_header"] += 1
             # Flip a bit inside the header prefix (fields 4..29).
@@ -246,18 +256,17 @@ class FaultyLink(Link):
             frame = self._flip_bit(frame, offset, int(u[5] * 8) % 8)
         if u[3] < plan.delay:
             self.injector.injected["delay"] += 1
-            self.messages += 1
-            self.bytes += len(frame)
+            self._count(frame, nbytes)
             self._held.append([frame, max(1, plan.delay_messages)])
             if duplicate:
                 self.injector.injected["duplicate"] += 1
-                super().send(frame)
+                super().send(frame, nbytes)
             self._tick_held()
             return
-        super().send(frame)
+        super().send(frame, nbytes)
         if duplicate:
             self.injector.injected["duplicate"] += 1
-            super().send(frame)
+            super().send(frame, nbytes)
         self._tick_held()
 
     def _tick_held(self) -> None:
@@ -271,7 +280,9 @@ class FaultyLink(Link):
             self.queue.put(item[0])
 
     def flush(self) -> None:
-        """Deliver every delayed frame (called at worker loop end)."""
+        """Deliver every delayed frame (called at worker loop end), then
+        ship any coalesced batch."""
         for frame, _ in self._held:
             self.queue.put(frame)
         self._held.clear()
+        self.flush_pending()

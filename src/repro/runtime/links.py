@@ -5,11 +5,32 @@ port). A :class:`Link` is a directed ``src -> dst`` virtual channel over the
 destination's inbox; each worker instantiates its row of outgoing links
 inside its own process, so the per-link message/byte counters are local,
 race-free, and shipped home with the worker's metrics. Summed over links,
-the counters reproduce exactly what the static predictor
-(:func:`repro.analysis.comm_volume.communication_volume`) counts.
+the ``messages``/``bytes`` counters reproduce exactly what the static
+predictor (:func:`repro.analysis.comm_volume.communication_volume`) counts.
+
+Two byte ledgers per link:
+
+``bytes``
+    *Logical* traffic — the frame bytes the wire contract charges
+    (``header + 8 * block_words``), identical across transports and equal
+    to the static prediction. This is what validation reconciles.
+``wire_bytes``
+    *Transported* traffic — ``len(frame)`` actually put on the queue.
+    Equal to ``bytes`` on the inline transport; collapses to 64 bytes per
+    message on the shared-memory transport (header-only descriptors).
+
+Coalescing: with ``coalesce`` enabled (the shm transport), data frames
+accumulate in a per-link pending batch and ship as **one** queue put per
+drain (:meth:`flush_pending`) — one pickling round-trip per ``(src, dst)``
+burst instead of one per block. Control frames flush the batch first so
+data-before-control ordering is preserved.
 """
 
 from __future__ import annotations
+
+#: Auto-flush threshold for coalesced batches; bounds receiver latency
+#: when a producer emits a long run of blocks between drains.
+COALESCE_MAX = 16
 
 
 class Link:
@@ -22,8 +43,8 @@ class Link:
     exchanges NACK/DONE control frames on the side.
     """
 
-    __slots__ = ("src", "dst", "queue", "messages", "bytes",
-                 "control_messages", "retransmits")
+    __slots__ = ("src", "dst", "queue", "messages", "bytes", "wire_bytes",
+                 "control_messages", "retransmits", "coalesce", "_pending")
 
     def __init__(self, src: int, dst: int, queue):
         self.src = src
@@ -31,31 +52,62 @@ class Link:
         self.queue = queue
         self.messages = 0
         self.bytes = 0
+        self.wire_bytes = 0
         self.control_messages = 0
         self.retransmits = 0
+        self.coalesce = False
+        self._pending: list[bytes] = []
 
-    def send(self, frame: bytes) -> None:
-        """Put one data (block) frame on the link (never blocks: queues
-        are unbounded, buffered by a feeder thread)."""
-        self.queue.put(frame)
+    def _count(self, frame: bytes, nbytes: int | None) -> None:
         self.messages += 1
-        self.bytes += len(frame)
+        self.bytes += len(frame) if nbytes is None else int(nbytes)
+        self.wire_bytes += len(frame)
+
+    def _put(self, frame: bytes) -> None:
+        if self.coalesce:
+            self._pending.append(frame)
+            if len(self._pending) >= COALESCE_MAX:
+                self.flush_pending()
+        else:
+            self.queue.put(frame)
+
+    def send(self, frame: bytes, nbytes: int | None = None) -> None:
+        """Put one data (block) frame on the link (never blocks: queues
+        are unbounded, buffered by a feeder thread).
+
+        ``nbytes`` is the frame's *logical* byte size; it defaults to
+        ``len(frame)``, which is exact for the inline transport.
+        """
+        self._count(frame, nbytes)
+        self._put(frame)
 
     def send_control(self, frame: bytes) -> None:
         """Put one control frame (NACK/DONE/ABORT) on the link; counted
-        apart from data traffic."""
+        apart from data traffic. Flushes any coalesced data first so the
+        receiver never sees control overtake the data it refers to."""
+        self.flush_pending()
         self.queue.put(frame)
         self.control_messages += 1
 
-    def resend(self, frame: bytes) -> None:
+    def resend(self, frame: bytes, nbytes: int | None = None) -> None:
         """Retransmit a data frame (recovery path): real traffic, counted
-        both on the link and in the retransmit tally."""
-        self.send(frame)
+        both on the link and in the retransmit tally. Flushed immediately
+        — the NACKing peer is stalled waiting for it."""
+        self.send(frame, nbytes)
+        self.flush_pending()
         self.retransmits += 1
 
+    def flush_pending(self) -> None:
+        """Ship the coalesced batch as a single queue put (a lone frame
+        ships bare, so receivers see the same item types either way)."""
+        if self._pending:
+            batch, self._pending = self._pending, []
+            self.queue.put(batch if len(batch) > 1 else batch[0])
+
     def flush(self) -> None:
-        """Release any internally held frames (no-op on a plain link;
-        fault-injecting links override this to deliver delayed frames)."""
+        """Release everything the link holds back: the coalesced batch
+        here, plus fault-injected delayed frames in the faulty subclass."""
+        self.flush_pending()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

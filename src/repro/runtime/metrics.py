@@ -64,6 +64,13 @@ class WorkerMetrics:
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    #: Transported bytes actually put on / taken off the queues. Equal to
+    #: ``bytes_sent``/``bytes_received`` on the inline transport; 64 bytes
+    #: per data message (header-only descriptors) on the shm transport.
+    #: The ``bytes_*`` counters above stay *logical* — identical across
+    #: transports and exactly equal to the static predictor.
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
     #: Per-link traffic this worker sent: ``{dst_rank: [messages, bytes]}``.
     links: dict[int, list[int]] = field(default_factory=dict)
     timeline: list[tuple[str, float, float]] = field(default_factory=list)
@@ -138,6 +145,8 @@ class RuntimeMetrics:
     workers: list[WorkerMetrics]
     mapping: str = ""
     problem: str = ""
+    #: Which transport moved block payloads: ``"inline"`` or ``"shm"``.
+    transport: str = "inline"
 
     def __post_init__(self) -> None:
         self.workers = sorted(self.workers, key=lambda w: w.rank)
@@ -161,6 +170,12 @@ class RuntimeMetrics:
     @property
     def bytes_total(self) -> int:
         return int(sum(w.bytes_sent for w in self.workers))
+
+    @property
+    def wire_bytes_total(self) -> int:
+        """Bytes actually transported (== ``bytes_total`` inline; the
+        headline savings on the shm transport)."""
+        return int(sum(w.wire_bytes_sent for w in self.workers))
 
     @property
     def tasks_total(self) -> int:
@@ -242,11 +257,13 @@ class RuntimeMetrics:
             "wall_s": self.wall_s,
             "mapping": self.mapping,
             "problem": self.problem,
+            "transport": self.transport,
             "measured_balance": self.measured_balance,
             "work_balance": self.work_balance,
             "imbalance": self.imbalance,
             "messages": self.messages_total,
             "bytes": self.bytes_total,
+            "wire_bytes": self.wire_bytes_total,
             "tasks": self.tasks_total,
             "recovery": {
                 "events": self.recovery_events_total,
@@ -269,6 +286,7 @@ class RuntimeMetrics:
             workers=[WorkerMetrics.from_dict(w) for w in d["workers"]],
             mapping=str(d.get("mapping", "")),
             problem=str(d.get("problem", "")),
+            transport=str(d.get("transport", "inline")),
         )
 
     @classmethod
@@ -295,4 +313,9 @@ class RuntimeMetrics:
             f"(work {self.work_balance:.3f}) "
             f"msgs={self.messages_total} ({self.bytes_total / 1e6:.2f} MB)"
         )
+        if self.wire_bytes_total != self.bytes_total:
+            summary += (
+                f" wire={self.wire_bytes_total / 1e6:.2f} MB "
+                f"[{self.transport}]"
+            )
         return chart + "\n" + summary

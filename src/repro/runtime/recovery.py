@@ -115,7 +115,11 @@ def _harvest_checkpoint(
     exc: FanoutError, tg: TaskGraph, checkpoint: dict[int, bytes]
 ) -> None:
     """Fold the completed-block frames salvaged from a failed attempt into
-    the running checkpoint (frames are CRC-verified before acceptance)."""
+    the running checkpoint (frames are CRC-verified before acceptance).
+
+    On the shm transport the engine already rewrote any ``BLOCK_REF``
+    descriptors as inline frames before destroying the arena, so every
+    salvaged frame here carries its payload and outlives the attempt."""
     for res in exc.results.values():
         for frame in res.frames:
             try:
@@ -154,6 +158,7 @@ def run_with_recovery(
     fault_plan: FaultPlan | None = None,
     max_restarts: int = 2,
     fallback_sequential: bool = True,
+    plan_cache: dict | None = None,
     **kwargs,
 ) -> MPRuntimeResult:
     """Factor ``A`` in parallel, restarting on failure, degrading last.
@@ -161,7 +166,11 @@ def run_with_recovery(
     Returns an :class:`MPRuntimeResult` whose ``failure_report`` is always
     populated. Raises only if ``fallback_sequential`` is disabled and
     every parallel attempt failed. Extra ``kwargs`` flow to
-    :func:`run_mp_fanout` (timeouts, poll interval, scheduling policy...).
+    :func:`run_mp_fanout` (timeouts, poll interval, scheduling policy,
+    transport...). ``plan_cache`` memoizes owner plans across calls and
+    restarts, keyed on ``(P, mapping, use_domains)`` — pass a dict owned
+    by the caller (e.g. :class:`repro.solver.SparseCholesky`) so repeated
+    ``factor()`` calls and same-P restarts skip re-planning.
     """
     if nprocs < 1:
         raise ValueError("nprocs must be positive")
@@ -174,7 +183,13 @@ def run_with_recovery(
     last_exc: FanoutError | None = None
     salvaged_traces: list[RunTrace] = []
     for attempt in range(max_restarts + 1):
-        owners, name = plan_owners(wm, tg, P, mapping, use_domains)
+        key = (P, mapping, use_domains)
+        if plan_cache is not None and key in plan_cache:
+            owners, name = plan_cache[key]
+        else:
+            owners, name = plan_owners(wm, tg, P, mapping, use_domains)
+            if plan_cache is not None:
+                plan_cache[key] = (owners, name)
         plan_a = fault_plan.for_attempt(attempt) if fault_plan else None
         t_attempt = time.perf_counter()
         try:

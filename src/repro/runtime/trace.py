@@ -19,12 +19,15 @@ Span categories
     ``BMOD(I,J)``; args carry the task id, block id, flops, and
     work-model units.
 ``send``
-    One fan-out of a completed block: args carry the block, the frame
-    byte size, and the distinct destination ranks (one wire message per
-    destination).
+    One fan-out of a completed block: args carry the block, the
+    *logical* byte size (``bytes`` — what the static predictor charges),
+    the *transported* frame size (``wire_bytes`` — 64 for a shm
+    ``BLOCK_REF`` descriptor, equal to ``bytes`` inline), and the
+    distinct destination ranks (one wire message per destination).
 ``recv``
-    Handling of one incoming BLOCK frame (named ``recv(I,J)``, or
-    ``duplicate`` for an idempotently dropped repeat).
+    Handling of one incoming BLOCK or BLOCK_REF frame (named
+    ``recv(I,J)``, or ``duplicate`` for an idempotently dropped
+    repeat); args carry the same ``bytes`` / ``wire_bytes`` split.
 ``comm``
     Handling of a control frame (``done_recv``, ``nack_recv``) or a
     rejected frame (``frame_rejected``, ``undecodable``).

@@ -48,6 +48,10 @@ class ValidationReport:
     bytes_predicted: int
     work_measured: np.ndarray
     work_predicted: np.ndarray
+    #: Bytes actually transported (== ``bytes_measured`` inline; header-only
+    #: descriptor traffic on the shm transport).
+    wire_bytes_measured: int = 0
+    transport: str = "inline"
     recovery_events: int = 0
     failures: list[str] = field(default_factory=list)
 
@@ -66,6 +70,8 @@ class ValidationReport:
             f"{self.messages_predicted} predicted",
             f"  bytes           : {self.bytes_measured} measured / "
             f"{self.bytes_predicted} predicted",
+            f"  wire bytes      : {self.wire_bytes_measured} transported "
+            f"[{self.transport}]",
             f"  work match      : max |measured - predicted| = "
             f"{np.abs(self.work_measured - self.work_predicted).max():.0f}",
             f"  recovery events : {self.recovery_events}",
@@ -120,6 +126,8 @@ def validate_runtime(
     predicted = communication_volume(tg, owners)
     measured_msgs = result.metrics.messages_total
     measured_bytes = result.metrics.bytes_total
+    wire_bytes = result.metrics.wire_bytes_total
+    transport = result.metrics.transport
 
     work_measured = np.array(
         [w.work_executed for w in result.metrics.workers], dtype=np.int64
@@ -158,6 +166,16 @@ def validate_runtime(
                 f"fault-free run triggered {recovery_events} "
                 "integrity/recovery events (expected zero)"
             )
+        if transport == "inline" and wire_bytes != measured_bytes:
+            failures.append(
+                f"inline transport moved {wire_bytes} wire bytes, "
+                f"logical accounting says {measured_bytes}"
+            )
+        if transport == "shm" and wire_bytes != 64 * measured_msgs:
+            failures.append(
+                f"shm transport moved {wire_bytes} wire bytes; expected "
+                f"header-only traffic {64 * measured_msgs}"
+            )
 
     report = ValidationReport(
         problem=problem,
@@ -170,6 +188,8 @@ def validate_runtime(
         messages_predicted=predicted.messages,
         bytes_measured=measured_bytes,
         bytes_predicted=predicted.bytes,
+        wire_bytes_measured=wire_bytes,
+        transport=transport,
         work_measured=work_measured,
         work_predicted=work_predicted,
         recovery_events=recovery_events,

@@ -23,6 +23,14 @@ Frame kinds
     A completed factor block fanned out to a consumer (or gathered to the
     driver at shutdown). ``block`` is the global block index; ``rows`` /
     ``cols`` are the dense block shape.
+``BLOCK_REF``
+    Shared-memory transport descriptor: a fixed 64-byte header-only frame
+    naming a completed block's arena slot instead of carrying the payload.
+    The prefix is identical to ``BLOCK`` (``nwords`` still holds the
+    *logical* payload words, so logical byte accounting is transport
+    independent); the pad region carries the slot byte offset and a CRC32
+    of the slot contents, both covered by the frame CRC. Consumers map the
+    slot read-only via :class:`repro.runtime.arena.BlockArena`.
 ``ABORT``
     A worker hit an unrecoverable error; peers should stop promptly.
     Payload-free.
@@ -44,11 +52,15 @@ from dataclasses import dataclass
 import numpy as np
 
 #: Frame kinds.
-BLOCK, ABORT, NACK, DONE = 1, 2, 3, 4
+BLOCK, ABORT, NACK, DONE, BLOCK_REF = 1, 2, 3, 4, 5
 
 #: Payload-free control kinds (never fault-injected, never CRC-protected
 #: payloads — there is no payload).
 CONTROL_KINDS = (ABORT, NACK, DONE)
+
+#: Kinds that carry (or reference) factor-block data — the fault
+#: injector's targets, and the frames counted as data traffic.
+DATA_KINDS = (BLOCK, BLOCK_REF)
 
 #: Wire header prefix: magic, kind, src rank, block id, rows, cols,
 #: payload words. The CRC32 field follows immediately after.
@@ -58,6 +70,15 @@ _CRC = struct.Struct("<I")
 HEADER_BYTES = 64
 _MAGIC = b"RSB2"
 _PAD = b"\0" * (HEADER_BYTES - _PREFIX.size - _CRC.size)
+
+#: BLOCK_REF slot metadata, packed into the pad region right after the
+#: CRC field: arena slot byte offset (q) + CRC32 of the slot bytes (I).
+_REF = struct.Struct("<qI")
+#: Byte offset of the slot metadata inside a BLOCK_REF frame — also the
+#: region the fault injector bit-flips to emulate payload corruption.
+REF_REGION_START = _PREFIX.size + _CRC.size
+REF_REGION_LEN = _REF.size
+_REF_PAD = b"\0" * (HEADER_BYTES - REF_REGION_START - _REF.size)
 
 
 class WireError(ValueError):
@@ -80,7 +101,15 @@ class CorruptFrameError(WireError):
 
 @dataclass(frozen=True)
 class WireMessage:
-    """A decoded frame."""
+    """A decoded frame.
+
+    ``words`` is the *logical* payload size in float64 words (the packed
+    triangle for diagonal blocks) — what the static predictor charges —
+    regardless of how the payload traveled. For ``BLOCK_REF`` descriptors
+    ``payload`` is ``None`` until :meth:`BlockArena.resolve` swaps in the
+    read-only slot view; ``offset``/``payload_crc`` carry the descriptor's
+    slot metadata.
+    """
 
     kind: int
     src: int
@@ -88,10 +117,16 @@ class WireMessage:
     rows: int
     cols: int
     payload: np.ndarray | None
+    words: int = 0
+    offset: int = -1
+    payload_crc: int = 0
 
     @property
     def nbytes(self) -> int:
-        words = 0 if self.payload is None else self.payload.size
+        """Logical frame bytes — equals ``machine.message_bytes(words)``."""
+        words = self.words
+        if not words and self.payload is not None:
+            words = self.payload.size
         return HEADER_BYTES + 8 * words
 
 
@@ -125,6 +160,24 @@ def pack_block(
     return _frame(BLOCK, src, block, rows, cols, words.tobytes())
 
 
+def pack_block_ref(
+    src: int, block: int, rows: int, cols: int, words: int,
+    offset: int, payload_crc: int,
+) -> bytes:
+    """Serialize a shared-memory descriptor for block ``block``.
+
+    ``words`` is the logical payload word count (``tg.block_words``),
+    ``offset`` the slot's byte offset in the arena, ``payload_crc`` a
+    CRC32 of the slot bytes at send time. The frame CRC covers the prefix
+    and the slot metadata, so in-flight corruption of either is detected
+    exactly like inline-frame corruption.
+    """
+    prefix = _PREFIX.pack(_MAGIC, BLOCK_REF, src, block, rows, cols, words)
+    extra = _REF.pack(offset, payload_crc)
+    crc = zlib.crc32(extra, zlib.crc32(prefix))
+    return b"".join((prefix, _CRC.pack(crc), extra, _REF_PAD))
+
+
 def pack_abort(src: int) -> bytes:
     """Serialize a payload-free ABORT frame."""
     return _frame(ABORT, src, -1, 0, 0)
@@ -140,11 +193,15 @@ def pack_done(src: int) -> bytes:
     return _frame(DONE, src, -1, 0, 0)
 
 
-def unpack(frame: bytes, verify: bool = True) -> WireMessage:
+def unpack(frame: bytes, verify: bool = True, copy: bool = True) -> WireMessage:
     """Decode one frame back into a :class:`WireMessage`.
 
     Diagonal payloads are unpacked from the packed triangle into a full
-    square array with an explicitly zero upper triangle. Raises
+    square array with an explicitly zero upper triangle. With
+    ``copy=False`` a full (subdiagonal) payload is returned as a read-only
+    zero-copy view over the frame bytes — safe whenever the caller owns
+    the frame buffer and only reads the block, which is every runtime
+    consumer (``bmod``/``bdiv`` sources are never written). Raises
     :class:`WireError` on malformed input and :class:`CorruptFrameError`
     when ``verify`` (the default) finds a CRC mismatch.
     """
@@ -159,6 +216,26 @@ def unpack(frame: bytes, verify: bool = True) -> WireMessage:
         raise WireError(f"undecodable frame header: {exc}") from exc
     if magic != _MAGIC:
         raise WireError(f"bad frame magic {magic!r}")
+    if kind == BLOCK_REF:
+        # Header-only descriptor: nwords is the *logical* payload size;
+        # no payload bytes follow. The CRC covers prefix + slot metadata.
+        offset, payload_crc = _REF.unpack_from(frame, REF_REGION_START)
+        if verify:
+            region = frame[REF_REGION_START:REF_REGION_START + _REF.size]
+            expect = zlib.crc32(region, zlib.crc32(frame[: _PREFIX.size]))
+            if crc != expect:
+                raise CorruptFrameError(
+                    f"CRC mismatch on BLOCK_REF descriptor (src={src}, "
+                    f"block={block}): stored {crc:#010x}, "
+                    f"computed {expect:#010x}",
+                    src=src,
+                    block=block,
+                )
+        if nwords < 0 or rows < 0 or cols < 0 or offset < 0:
+            raise WireError("malformed BLOCK_REF descriptor")
+        return WireMessage(BLOCK_REF, src, block, rows, cols, None,
+                           words=nwords, offset=offset,
+                           payload_crc=payload_crc)
     if nwords < 0 or HEADER_BYTES + 8 * nwords > len(frame):
         raise WireError(
             f"frame truncated: header promises {nwords} payload words, "
@@ -187,13 +264,17 @@ def unpack(frame: bytes, verify: bool = True) -> WireMessage:
         # 1x1 (and degenerate) diagonal blocks: triangle == full array.
         payload = words.reshape(rows, cols).copy()
     elif nwords == rows * cols and rows >= 0 and cols >= 0:
-        payload = words.reshape(rows, cols).copy()
+        # np.frombuffer over bytes is already read-only, so the no-copy
+        # view cannot be mutated behind the frame's back.
+        payload = words.reshape(rows, cols)
+        if copy:
+            payload = payload.copy()
     else:
         raise WireError(
             f"payload size {nwords} matches neither full ({rows}x{cols}) "
             "nor packed-triangular storage"
         )
-    return WireMessage(BLOCK, src, block, rows, cols, payload)
+    return WireMessage(BLOCK, src, block, rows, cols, payload, words=nwords)
 
 
 def frame_kind(frame: bytes) -> int:

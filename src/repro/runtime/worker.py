@@ -105,6 +105,8 @@ class Worker:
         renegotiate_cap_s: float = 2.0,
         max_renegotiations: int = 8,
         retransmit_limit: int = 5,
+        transport: str = "inline",
+        arena_name: str | None = None,
     ):
         self.rank = rank
         self.structure = structure
@@ -126,6 +128,8 @@ class Worker:
         self.renegotiate_cap_s = renegotiate_cap_s
         self.max_renegotiations = max_renegotiations
         self.retransmit_limit = retransmit_limit
+        self.transport = transport
+        self.arena_name = arena_name
         self.metrics = WorkerMetrics(rank=rank)
         self.timeline = TimelineRecorder(enabled=record_timeline)
         #: Structured event recorder, or None (tracing off — the hot path
@@ -163,10 +167,20 @@ class Worker:
         self.chol = BlockCholesky(self.structure, self.A)
         self.inbox = self.fabric.inbox(self.rank)
         self.links = self.fabric.outgoing(self.rank)
+        self.arena = None
+        if self.transport == "shm" and self.arena_name is not None:
+            from repro.runtime.arena import BlockArena
+
+            self.arena = BlockArena.attach(tg, self.arena_name)
         self.injector = None
         if self.fault_plan is not None and self.fault_plan.active:
             self.injector = FaultInjector(self.fault_plan, self.rank)
             self.links = self.injector.wrap_links(self.links)
+        if self.arena is not None:
+            # Descriptors are cheap and uniform — batch them per link and
+            # ship one queue put per drain instead of one per block.
+            for link in self.links.values():
+                link.coalesce = True
         self._crash_after, self._crash_hard = self._crash_config()
         self._slow_s = (
             self.fault_plan.slow_for(self.rank) if self.fault_plan else 0.0
@@ -195,6 +209,23 @@ class Worker:
         done_block[valid_ck] = True
         self.skip_task = done_block[tg.task_block]
         self.executed += int((self.mine & self.skip_task).sum())
+        # Deterministic accumulation: BMOD updates into a given destination
+        # block are applied in ascending task id, regardless of message
+        # arrival order. A BMOD whose sources arrive "early" is parked in
+        # ``_bmod_src_ready`` until its predecessors for the same block have
+        # run. Floating-point block sums are then bitwise reproducible
+        # run-to-run and across transports.
+        self._bmod_order: dict[int, list[int]] = {}
+        for t in np.flatnonzero(
+            (tg.task_kind == BMOD) & self.mine & ~self.skip_task
+        ):
+            self._bmod_order.setdefault(int(tg.task_block[t]), []).append(
+                int(t)
+            )
+        self._bmod_next_idx: dict[int, int] = dict.fromkeys(
+            self._bmod_order, 0
+        )
+        self._bmod_src_ready: set[int] = set()
         # Seed: owned diagonal blocks with no incoming BMODs.
         diag = tg.block_I == tg.block_J
         for b in np.flatnonzero(diag & (tg.nmod == 0)):
@@ -222,6 +253,12 @@ class Worker:
             msg = wire.unpack(self.checkpoint[b])
             I, J = int(tg.block_I[b]), int(tg.block_J[b])
             self.have.add(b)
+            if self.arena is not None:
+                # Keep the invariant "b in have => slot b is valid": any
+                # held block may later be served to a NACKing peer as a
+                # descriptor. Re-writing the same final bytes from every
+                # preloading worker is benign.
+                self.arena.write(b, msg.payload)
             self.metrics.checkpoint_blocks_loaded += 1
             if self.trace is not None:
                 self.trace.mark("checkpoint_load", self._now(),
@@ -255,9 +292,30 @@ class Worker:
 
     def _push(self, tid: int) -> None:
         """Schedule a task unless a checkpoint already supplies its output
-        (the scheduler additionally dedups repeat pushes)."""
-        if not self.skip_task[tid]:
-            self.scheduler.push(tid)
+        (the scheduler additionally dedups repeat pushes). BMODs are held
+        back until they are the next update in their destination block's
+        canonical order."""
+        if self.skip_task[tid]:
+            return
+        if int(self.tg.task_kind[tid]) == BMOD and not self._bmod_is_next(tid):
+            self._bmod_src_ready.add(tid)
+            return
+        self.scheduler.push(tid)
+
+    def _bmod_is_next(self, tid: int) -> bool:
+        b = int(self.tg.task_block[tid])
+        order = self._bmod_order[b]
+        return order[self._bmod_next_idx[b]] == tid
+
+    def _bmod_advance(self, b: int) -> None:
+        """A BMOD into ``b`` just ran: release its successor if its sources
+        already arrived (it was parked waiting for canonical order)."""
+        order = self._bmod_order[b]
+        idx = self._bmod_next_idx[b] + 1
+        self._bmod_next_idx[b] = idx
+        if idx < len(order) and order[idx] in self._bmod_src_ready:
+            self._bmod_src_ready.discard(order[idx])
+            self.scheduler.push(order[idx])
 
     def _now(self) -> float:
         return time.perf_counter() - self.epoch
@@ -270,6 +328,10 @@ class Worker:
                 tid = self.scheduler.pop()
                 self._execute(tid)
                 progressed = True
+                if not self.scheduler:
+                    # About to go idle (or wait on the inbox): ship any
+                    # coalesced descriptor batches so consumers proceed.
+                    self._flush_pending()
             elif not progressed:
                 progressed = self._wait_for_message()
             now = self._now()
@@ -284,23 +346,39 @@ class Worker:
                 )
             elif self.recovery and self.expected:
                 self._maybe_renegotiate(now, last_progress)
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Ship every link's coalesced batch (does *not* release frames a
+        fault injector is deliberately delaying)."""
+        for link in self.links.values():
+            link.flush_pending()
 
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
+    def _handle_item(self, item) -> bool:
+        """Process one inbox item: a bare frame or a coalesced batch."""
+        if isinstance(item, list):
+            got = False
+            for frame in item:
+                got = self._handle_frame(frame) or got
+            return got
+        return self._handle_frame(item)
+
     def _drain_inbox(self) -> bool:
         got = False
         while True:
             try:
-                frame = self.inbox.get_nowait()
+                item = self.inbox.get_nowait()
             except queue_mod.Empty:
                 return got
-            got = self._handle_frame(frame) or got
+            got = self._handle_item(item) or got
 
     def _wait_for_message(self) -> bool:
         t0 = self._now()
         try:
-            frame = self.inbox.get(timeout=self.poll_s)
+            item = self.inbox.get(timeout=self.poll_s)
         except queue_mod.Empty:
             t1 = self._now()
             self.timeline.add("idle", t0, t1)
@@ -311,7 +389,7 @@ class Worker:
         self.timeline.add("idle", t0, t1)
         if self.trace is not None:
             self.trace.span("idle", "idle", t0, t1)
-        return self._handle_frame(frame)
+        return self._handle_item(item)
 
     def _handle_frame(self, frame: bytes) -> bool:
         """Process one incoming frame; returns True if it made progress
@@ -320,7 +398,17 @@ class Worker:
         m = self.metrics
         tr = self.trace
         try:
-            msg = wire.unpack(frame)
+            msg = wire.unpack(frame, copy=False)
+            if msg.kind == wire.BLOCK_REF:
+                if self.arena is None:
+                    raise wire.WireError(
+                        "BLOCK_REF descriptor received but no arena is "
+                        "attached (transport mismatch)"
+                    )
+                # Swap the descriptor for the read-only arena slot view;
+                # a slot-CRC mismatch funnels into the same reject/NACK
+                # path as inline payload corruption.
+                msg = self.arena.resolve(msg)
         except wire.CorruptFrameError as exc:
             m.frames_rejected += 1
             if not self.recovery:
@@ -372,8 +460,11 @@ class Worker:
                 tr.span("comm", "nack_recv", t0, t1,
                         {"src": msg.src, "block": msg.block})
             return False
+        # Logical bytes (what the predictor charges) vs wire bytes (what
+        # actually crossed the queue — 64 for a descriptor).
         m.messages_received += 1
-        m.bytes_received += len(frame)
+        m.bytes_received += msg.nbytes
+        m.wire_bytes_received += len(frame)
         b = msg.block
         if b in self.have:
             m.duplicates_dropped += 1
@@ -381,7 +472,8 @@ class Worker:
             self.timeline.add("comm", t0, t1)
             if tr is not None:
                 tr.span("recv", "duplicate", t0, t1,
-                        {"block": b, "src": msg.src, "bytes": len(frame)})
+                        {"block": b, "src": msg.src, "bytes": msg.nbytes,
+                         "wire_bytes": len(frame)})
             return False
         self._apply_block(msg)
         t1 = self._now()
@@ -392,7 +484,8 @@ class Worker:
                 "recv",
                 f"recv({int(tg.block_I[b])},{int(tg.block_J[b])})",
                 t0, t1,
-                {"block": b, "src": msg.src, "bytes": len(frame)},
+                {"block": b, "src": msg.src, "bytes": msg.nbytes,
+                 "wire_bytes": len(frame)},
             )
         return True
 
@@ -444,12 +537,13 @@ class Worker:
             return
         self._resends[key] = self._resends.get(key, 0) + 1
         frame = self._frame_for(b)
-        self.links[requester].resend(frame)
+        nbytes = self._logical_nbytes(b)
+        self.links[requester].resend(frame, nbytes)
         self.metrics.retransmits += 1
         if self.trace is not None:
             self.trace.mark("retransmit", self._now(),
                             {"block": b, "dst": requester,
-                             "bytes": len(frame)})
+                             "bytes": nbytes, "wire_bytes": len(frame)})
 
     def _maybe_renegotiate(self, now: float, last_progress: float) -> None:
         """NACK owners of still-missing blocks under exponential backoff."""
@@ -593,20 +687,32 @@ class Worker:
             )
 
         if kind == BMOD:
+            self._bmod_advance(b)
             self.mods_remaining[b] -= 1
             if self.mods_remaining[b] == 0:
                 self._block_mods_done(b)
         elif kind == BFAC:
-            self.have.add(b)
+            self._publish(b)
             k = int(tg.block_J[b])
             sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
             self._fan_out(b, self.owners[sub])
             self._diag_completed(k)
         else:  # BDIV
-            self.have.add(b)
+            self._publish(b)
             deps = tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]
             self._fan_out(b, self.task_owner[deps])
             self._subdiag_completed(b)
+
+    def _publish(self, b: int) -> None:
+        """Mark block ``b`` final and, on the shm transport, copy it into
+        its arena slot (the producer's single copy) before any descriptor
+        for it can be sent — to peers *or* to the driver gather."""
+        self.have.add(b)
+        if self.arena is not None:
+            tg = self.tg
+            I, J = int(tg.block_I[b]), int(tg.block_J[b])
+            arr = self.chol.diag[J] if I == J else self.chol.below[J][I]
+            self.arena.write(b, arr)
 
     def _fan_out(self, b: int, target_owners: np.ndarray) -> None:
         """Send completed block ``b`` once to each distinct remote owner."""
@@ -615,8 +721,9 @@ class Worker:
             return
         t0 = self._now()
         frame = self._frame_for(b)
+        nbytes = self._logical_nbytes(b)
         for dst in remote:
-            self.links[int(dst)].send(frame)
+            self.links[int(dst)].send(frame, nbytes)
         t1 = self._now()
         self.timeline.add("comm", t0, t1)
         if self.trace is not None:
@@ -625,11 +732,18 @@ class Worker:
                 "send",
                 f"send({int(tg.block_I[b])},{int(tg.block_J[b])})",
                 t0, t1,
-                {"block": b, "bytes": len(frame),
+                {"block": b, "bytes": nbytes, "wire_bytes": len(frame),
                  "targets": [int(d) for d in remote]},
             )
 
+    def _logical_nbytes(self, b: int) -> int:
+        """Logical frame bytes for block ``b`` — exactly what the static
+        predictor charges, independent of the transport."""
+        return wire.HEADER_BYTES + 8 * int(self.tg.block_words[b])
+
     def _frame_for(self, b: int) -> bytes:
+        if self.arena is not None:
+            return self.arena.pack_ref(self.rank, b)
         tg = self.tg
         I, J = int(tg.block_I[b]), int(tg.block_J[b])
         arr = self.chol.diag[J] if I == J else self.chol.below[J][I]
@@ -672,6 +786,7 @@ class Worker:
         for dst, link in getattr(self, "links", {}).items():
             if link.messages:
                 m.links[dst] = [link.messages, link.bytes]
+            m.wire_bytes_sent += link.wire_bytes
             m.control_sent += link.control_messages
         m.messages_sent = sum(v[0] for v in m.links.values())
         m.bytes_sent = sum(v[1] for v in m.links.values())

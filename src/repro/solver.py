@@ -92,6 +92,14 @@ class SparseCholesky:
         capacity, ``False``/``None`` (default) for zero-overhead off. The
         merged :class:`repro.runtime.trace.RunTrace` lands in
         :attr:`run_trace` after :meth:`factor`.
+    transport:
+        Block payload transport for the ``"mp"`` backend: ``"auto"``
+        (default — shared-memory arena when available), ``"shm"``, or
+        ``"inline"``. See :func:`repro.runtime.engine.run_mp_fanout`.
+
+    The ownership plan for the ``"mp"`` backend is computed once per
+    ``(P, mapping, use_domains)`` and cached on the instance, so repeated
+    :meth:`factor` calls (and same-P recovery restarts) skip re-planning.
     """
 
     BACKENDS = ("sequential", "threads", "mp")
@@ -108,6 +116,7 @@ class SparseCholesky:
         fault_plan=None,
         max_restarts: int = 2,
         trace: bool | int | None = None,
+        transport: str = "auto",
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
@@ -132,6 +141,9 @@ class SparseCholesky:
         self.fault_plan = fault_plan
         self.max_restarts = max_restarts
         self.trace = trace
+        self.transport = transport
+        #: Memoized ``(P, mapping, use_domains) -> (owners, name)`` plans.
+        self._plan_cache: dict = {}
         #: Structured recovery outcome of the last ``"mp"`` factorization
         #: run under a fault plan (None otherwise).
         self.failure_report = None
@@ -176,6 +188,18 @@ class SparseCholesky:
             self._taskgraph = TaskGraph(self.workmodel)
         return self._taskgraph
 
+    def _plan(self, P: int):
+        """Owner plan for ``P`` workers, memoized on the instance."""
+        from repro.runtime import plan_owners
+
+        key = (P, self.mapping, self.use_domains)
+        if key not in self._plan_cache:
+            self._plan_cache[key] = plan_owners(
+                self.workmodel, self.taskgraph, P,
+                self.mapping, self.use_domains,
+            )
+        return self._plan_cache[key]
+
     def factor(self) -> "SparseCholesky":
         """Numerically factor with the configured backend; returns self."""
         if self.backend == "sequential":
@@ -205,19 +229,23 @@ class SparseCholesky:
                     fault_plan=self.fault_plan,
                     max_restarts=self.max_restarts,
                     trace=self.trace,
+                    transport=self.transport,
+                    plan_cache=self._plan_cache,
                 )
                 self.failure_report = result.failure_report
             else:
-                from repro.runtime import mp_block_cholesky
+                from repro.runtime import run_mp_fanout
 
-                result = mp_block_cholesky(
+                owners, name = self._plan(self.nprocs)
+                result = run_mp_fanout(
                     self.structure,
                     self.symbolic.A,
                     self.taskgraph,
-                    nprocs=self.nprocs,
-                    mapping=self.mapping,
-                    use_domains=self.use_domains,
+                    owners,
+                    self.nprocs,
+                    mapping=name,
                     trace=self.trace,
+                    transport=self.transport,
                 )
             self._numeric = result.factor
             self.runtime_metrics = result.metrics

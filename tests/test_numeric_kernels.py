@@ -27,9 +27,17 @@ class TestBdiv:
         rng = np.random.default_rng(1)
         L = np.linalg.cholesky(spd(6, 1))
         B = rng.standard_normal((4, 6))
+        B_orig = B.copy()  # bdiv consumes B (in-place solve)
         X, flops = bdiv_kernel(B, L)
-        assert np.allclose(X @ L.T, B)
+        assert np.allclose(X @ L.T, B_orig)
         assert flops == 4 * 36
+
+    def test_solves_in_place(self):
+        rng = np.random.default_rng(4)
+        L = np.linalg.cholesky(spd(5, 2))
+        B = rng.standard_normal((3, 5))
+        X, _ = bdiv_kernel(B, L)
+        assert np.shares_memory(X, B)
 
 
 class TestBmod:
@@ -40,6 +48,20 @@ class TestBmod:
         U, flops = bmod_kernel(A, B)
         assert np.allclose(U, A @ B.T)
         assert flops == 2 * 3 * 2 * 5
+
+    def test_bmod_into_accumulates_in_place(self):
+        from repro.numeric.dense_kernels import bmod_kernel_into
+
+        rng = np.random.default_rng(5)
+        A = rng.standard_normal((4, 6))
+        B = rng.standard_normal((3, 6))
+        dest = rng.standard_normal((4, 3))
+        expect = dest - A @ B.T
+        buf = dest  # fused dgemm writes straight into the destination
+        flops = bmod_kernel_into(A, B, dest)
+        assert np.allclose(dest, expect)
+        assert dest is buf
+        assert flops == 2 * 4 * 3 * 6
 
 
 class TestComposition:
