@@ -141,12 +141,22 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "affinity_cpus": affinity,
         "transports": transports,
+        # Top-level oversubscription verdict: True when ANY benched
+        # configuration ran more workers than affinity-visible CPUs.
+        # Consumers must check this before reading wall-clock "speedups"
+        # — oversubscribed numbers measure time-slicing, not parallelism.
+        "oversubscribed": (
+            usable is not None and max(nprocs_list) > usable
+        ),
+        "usable_cpus": usable,
         "runs": [],
     }
-    if usable is not None and max(nprocs_list) > usable:
+    if report["oversubscribed"]:
         print(f"WARNING: benching up to {max(nprocs_list)} workers on "
               f"{usable} affinity-visible CPUs — oversubscribed runs "
-              f"measure time-sliced execution, not parallel speedup")
+              f"measure time-sliced execution, not parallel speedup; "
+              f"BENCH_runtime.json is marked oversubscribed=true",
+              file=sys.stderr)
     for name in problems:
         prep = prepare_problem(name, args.scale, args.block_size)
         entry = {
@@ -205,6 +215,10 @@ def main(argv=None) -> int:
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"wrote {args.out}")
+    if report["oversubscribed"]:
+        print("WARNING: report is flagged oversubscribed=true — treat "
+              "wall-clock comparisons as untrustworthy on this machine",
+              file=sys.stderr)
     return 0
 
 

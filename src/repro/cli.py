@@ -19,6 +19,13 @@ Commands
 ``trace <file>``
     Inspect a structured run trace (written by ``bench-real --trace-out``):
     summary, ASCII Gantt chart, replay validation, Chrome trace export.
+``serve``
+    Run the long-lived factorization service (persistent worker pool,
+    pattern cache, admission control) as a TCP server.
+``loadgen``
+    Drive a service — remote (``--connect``) or spun up in-process — with
+    a seeded closed- or open-loop job mix at a configurable
+    pattern-repeat ratio, and report cache hits and latency percentiles.
 ``experiment <name>``
     Run one paper experiment (table1..table7, figure1, prime_grids, ...).
 ``suite``
@@ -301,6 +308,120 @@ def cmd_chaos(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _service_from_args(args):
+    from repro.service import FactorService
+
+    return FactorService(
+        nprocs=args.nprocs,
+        ordering=args.ordering,
+        block_size=args.block_size,
+        mapping=args.mapping,
+        transport=args.transport,
+        queue_capacity=args.queue_capacity,
+        admission=args.admission,
+        max_batch=args.max_batch,
+        batch_wait_s=args.batch_wait / 1e3,
+        cache_capacity=args.cache_capacity,
+        validate=args.validate,
+    )
+
+
+def _add_service_knobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-p", "--nprocs", type=int, default=2,
+                   help="resident worker process count")
+    p.add_argument("--ordering", default="auto",
+                   choices=("auto", "nd", "mmd", "natural"))
+    p.add_argument("--block-size", type=int, default=48)
+    p.add_argument("--mapping", default="DW/CY")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "inline"))
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="admission queue bound")
+    p.add_argument("--admission", default="block",
+                   choices=("block", "reject", "shed"),
+                   help="what happens when the queue is full")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="max jobs folded into one fan-out round")
+    p.add_argument("--batch-wait", type=float, default=2.0, metavar="MS",
+                   help="batching window in milliseconds")
+    p.add_argument("--cache-capacity", type=int, default=8,
+                   help="pattern cache entries (LRU beyond this)")
+    p.add_argument("--validate", action="store_true",
+                   help="bitwise-check every factor against the "
+                        "sequential baseline")
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ServiceServer
+
+    service = _service_from_args(args).start()
+    server = ServiceServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro service listening on {host}:{port} "
+          f"(nprocs={args.nprocs}, transport={service.transport}, "
+          f"admission={args.admission}, queue={args.queue_capacity})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.close()
+        service.close()
+        print("service stopped:", service.metrics.render(), sep="\n")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from repro.service import ServiceClient
+    from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+    cfg = LoadgenConfig(
+        jobs=args.jobs,
+        patterns=args.patterns,
+        repeat_ratio=args.repeat_ratio,
+        mode=args.mode,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        problem=args.problem,
+        n=args.n,
+        values_only=not args.full_matrix,
+        timeout=args.timeout,
+    )
+    service = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        address = (host or "127.0.0.1", int(port))
+
+        def client_factory():
+            return ServiceClient(address=address, timeout=args.timeout)
+    else:
+        service = _service_from_args(args).start()
+
+        def client_factory():
+            return ServiceClient(service=service, timeout=args.timeout)
+
+    try:
+        report = run_loadgen(client_factory, cfg)
+    finally:
+        if service is not None:
+            service.close()
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"loadgen report written to {args.json}")
+    if args.shutdown_server and args.connect:
+        with ServiceClient(address=address, timeout=args.timeout) as c:
+            c.shutdown_server()
+        print("server shutdown requested")
+    d = report.to_dict()
+    return 0 if d["jobs"]["failed"] == 0 else 1
+
+
 def cmd_analyze(args) -> int:
     from repro.analysis import (
         critical_path,
@@ -492,6 +613,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chrome", default=None, metavar="PATH",
                    help="also export Chrome trace_event JSON to PATH")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived factorization service as a TCP server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks a free one, printed at startup)")
+    _add_service_knobs(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a factorization service with a seeded job mix and "
+             "report cache hits + latency percentiles",
+    )
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="target a running 'repro serve' (default: spin up "
+                        "an in-process service with the knobs below)")
+    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--patterns", type=int, default=3,
+                   help="distinct sparsity patterns in the mix")
+    p.add_argument("--repeat-ratio", type=float, default=0.6,
+                   help="fraction of jobs reusing an already-seen pattern")
+    p.add_argument("--mode", default="closed", choices=("closed", "open"))
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="open-loop arrival rate (jobs/s)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="closed-loop client lanes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--problem", default="grid", choices=("grid", "random"),
+                   help="synthetic problem family")
+    p.add_argument("--n", type=int, default=10,
+                   help="base problem size (grid side / dimension)")
+    p.add_argument("--full-matrix", action="store_true",
+                   help="always submit full matrices (never the "
+                        "pattern-handle + values warm path)")
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the loadgen report JSON to PATH")
+    p.add_argument("--shutdown-server", action="store_true",
+                   help="send a shutdown to the --connect server when done")
+    _add_service_knobs(p)
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser("analyze", help="structure/memory/critical-path report")
     p.add_argument("problem")

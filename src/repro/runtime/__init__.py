@@ -17,6 +17,7 @@ Layers: :mod:`~repro.runtime.wire` (block serialization, CRC32 integrity),
 :mod:`~repro.runtime.scheduler` (per-worker ready queues),
 :mod:`~repro.runtime.worker` (the event loop),
 :mod:`~repro.runtime.engine` (process orchestration),
+:mod:`~repro.runtime.pool` (persistent worker pool for :mod:`repro.service`),
 :mod:`~repro.runtime.faults` (deterministic chaos injection),
 :mod:`~repro.runtime.recovery` (checkpoint/restart + sequential fallback),
 :mod:`~repro.runtime.trace` (always-available structured event tracing),
@@ -49,6 +50,14 @@ from repro.runtime.faults import (
 )
 from repro.runtime.links import Link, LinkFabric
 from repro.runtime.metrics import RuntimeMetrics, WorkerMetrics
+from repro.runtime.pool import (
+    JobOutcome,
+    PatternContext,
+    PoolError,
+    PoolJob,
+    PoolTimeoutError,
+    WorkerPool,
+)
 from repro.runtime.recovery import (
     FailedAttempt,
     FailureReport,
@@ -107,4 +116,10 @@ __all__ = [
     "WireError",
     "Worker",
     "WorkerResult",
+    "JobOutcome",
+    "PatternContext",
+    "PoolError",
+    "PoolJob",
+    "PoolTimeoutError",
+    "WorkerPool",
 ]

@@ -147,6 +147,9 @@ class RuntimeMetrics:
     problem: str = ""
     #: Which transport moved block payloads: ``"inline"`` or ``"shm"``.
     transport: str = "inline"
+    #: Free-form annotations carried into the JSON dump (e.g. the solver's
+    #: plan-cache counters, the service layer's per-job context).
+    extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.workers = sorted(self.workers, key=lambda w: w.rank)
@@ -272,6 +275,7 @@ class RuntimeMetrics:
                 "duplicates_dropped": self.duplicates_total,
                 "faults_injected": self.faults_injected_total,
             },
+            "extra": self.extra,
             "workers": [w.to_dict() for w in self.workers],
         }
 
@@ -287,6 +291,7 @@ class RuntimeMetrics:
             mapping=str(d.get("mapping", "")),
             problem=str(d.get("problem", "")),
             transport=str(d.get("transport", "inline")),
+            extra=dict(d.get("extra", {})),
         )
 
     @classmethod

@@ -1,0 +1,611 @@
+"""Persistent worker pool: the engine's one-shot lifecycle made resident.
+
+:func:`repro.runtime.engine.run_mp_fanout` pays full job setup for every
+matrix: spawn workers, build links, create an arena, run, tear everything
+down. For a factorization *service* — the paper's own motivating workload
+is repeated numeric factorization inside interior-point LP loops — that
+setup dominates. :class:`WorkerPool` keeps the worker processes and the
+link fabric alive across jobs and ships each job as a small message:
+
+* **Pattern contexts** travel once. The first job of a sparsity pattern
+  carries the block structure, task graph, owner plan, and arena name;
+  workers cache them (and their arena attachment) keyed by pattern id, so
+  every later job with the same pattern is *values-only*: a single float64
+  array (the permuted matrix's csc data) per worker.
+* **Batched dispatch.** A batch of jobs is one command put per worker;
+  workers run the jobs back to back without returning to the driver in
+  between, so a burst of small factorizations costs one dispatch
+  round-trip instead of one per job.
+* **Job-tagged frames.** Every queue item is ``(seq, item)`` where ``seq``
+  is the global job number. A worker that runs ahead can already be
+  fanning out job *k+1* while a peer still drains job *k*; the router
+  parks frames for other jobs so the wrong :class:`Worker` never sees
+  them (see :class:`InboxRouter`).
+* **Arena-reuse barrier.** Shared-memory arenas are *per pattern* and
+  live across jobs, so two jobs with the same pattern would race on the
+  same slots. A job that reuses an in-flight arena waits until every rank
+  announced completion of the previous job on that arena (DONE control
+  frames, 64 bytes each). Inline jobs, and jobs on distinct arenas,
+  pipeline freely. Gather frames are always shipped inline in pool mode
+  (:attr:`Worker.inline_gather`) so the driver never reads a slot that a
+  later job may have overwritten.
+
+Failure containment: a worker error poisons only its own job — the
+erroring worker broadcasts ABORT for that job's tag, peers abort that job
+and move on to the next one in the batch, and the driver reports the job
+failed while the rest of the batch completes. Dead processes and global
+timeouts tear the pool down (:meth:`WorkerPool.restart` brings up a fresh
+one; pattern contexts are re-shipped lazily because ``seen_patterns`` is
+cleared). The pool never runs the fault-injection/recovery protocol —
+that remains the one-shot engine's job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.runtime import wire
+from repro.runtime.engine import _reap
+from repro.runtime.links import Link, LinkFabric
+from repro.runtime.worker import Worker, WorkerResult
+
+__all__ = [
+    "PatternContext",
+    "PoolJob",
+    "JobOutcome",
+    "PoolError",
+    "PoolTimeoutError",
+    "WorkerPool",
+]
+
+
+class PoolError(RuntimeError):
+    """The pool itself failed (dead worker process, protocol breach)."""
+
+
+class PoolTimeoutError(PoolError):
+    """A batch exceeded its global deadline."""
+
+
+# ----------------------------------------------------------------------
+# Job descriptions (driver -> worker)
+# ----------------------------------------------------------------------
+@dataclass
+class PatternContext:
+    """Everything a worker must hold to run jobs of one sparsity pattern.
+
+    Shipped once per pattern per pool incarnation; ``indptr``/``indices``
+    describe the *permuted* matrix, so later jobs need only a values
+    array. ``arena_name`` names the driver-owned shared-memory segment
+    for the pattern (None on the inline transport).
+    """
+
+    pattern_id: str
+    structure: object
+    tg: object
+    owners: np.ndarray
+    priorities: np.ndarray | None
+    indptr: np.ndarray
+    indices: np.ndarray
+    shape: tuple
+    arena_name: str | None = None
+    op_fixed_cost: int = 1000
+
+
+@dataclass
+class PoolJob:
+    """One factorization dispatched to the pool.
+
+    ``values`` is the csc ``data`` array of the permuted input matrix.
+    ``context`` is present exactly when this pool incarnation has not seen
+    the pattern yet. ``wait_for`` is the seq of the latest earlier job
+    sharing this job's arena (barrier); ``announce`` makes every rank
+    broadcast a DONE control frame tagged with this job when it finishes,
+    so later same-arena jobs can wait on it.
+    """
+
+    seq: int
+    pattern_id: str
+    values: np.ndarray
+    context: PatternContext | None = None
+    wait_for: int | None = None
+    announce: bool = False
+    trace_capacity: int = 0
+
+
+@dataclass
+class JobOutcome:
+    """Driver-side result of one pooled job."""
+
+    seq: int
+    results: dict = field(default_factory=dict)  # rank -> WorkerResult
+    error: str | None = None
+    aborted: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.aborted
+
+
+# ----------------------------------------------------------------------
+# Job-tagged views over the persistent fabric
+# ----------------------------------------------------------------------
+class InboxRouter:
+    """Demultiplexes one worker's tagged inbox by job sequence number.
+
+    Frames for the requested job are returned; frames for other (later)
+    jobs are parked until their job asks for them; frames older than
+    ``min_seq`` — stragglers of fully-collected batches, e.g. late DONE
+    announcements — are dropped.
+    """
+
+    def __init__(self, inbox):
+        self.inbox = inbox
+        self.parked: dict[int, deque] = {}
+        self.min_seq = 0
+
+    def prune(self, min_seq: int) -> None:
+        self.min_seq = min_seq
+        for tag in [t for t in self.parked if t < min_seq]:
+            del self.parked[tag]
+
+    def _accept(self, tag: int, item, seq: int):
+        if tag == seq:
+            return item
+        if tag >= self.min_seq:
+            self.parked.setdefault(tag, deque()).append(item)
+        return None
+
+    def get_nowait(self, seq: int):
+        q = self.parked.get(seq)
+        if q:
+            return q.popleft()
+        while True:
+            tag, item = self.inbox.get_nowait()  # raises Empty when drained
+            got = self._accept(tag, item, seq)
+            if got is not None:
+                return got
+
+    def get(self, seq: int, timeout: float | None = None):
+        q = self.parked.get(seq)
+        if q:
+            return q.popleft()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise queue_mod.Empty
+            tag, item = self.inbox.get(timeout=remaining)
+            got = self._accept(tag, item, seq)
+            if got is not None:
+                return got
+
+
+class _TaggedQueue:
+    """Write-side wrapper tagging every put with a job seq."""
+
+    __slots__ = ("q", "tag")
+
+    def __init__(self, q, tag: int):
+        self.q = q
+        self.tag = tag
+
+    def put(self, item) -> None:
+        self.q.put((self.tag, item))
+
+    def cancel_join_thread(self) -> None:
+        self.q.cancel_join_thread()
+
+    def close(self) -> None:  # pragma: no cover - Worker never closes links
+        pass
+
+
+class _JobInbox:
+    """Read-side wrapper: the inbox one :class:`Worker` (one job) sees."""
+
+    __slots__ = ("router", "seq")
+
+    def __init__(self, router: InboxRouter, seq: int):
+        self.router = router
+        self.seq = seq
+
+    def get(self, timeout: float | None = None):
+        return self.router.get(self.seq, timeout)
+
+    def get_nowait(self):
+        return self.router.get_nowait(self.seq)
+
+
+class JobFabric:
+    """A per-job view of the persistent :class:`LinkFabric`.
+
+    Fresh :class:`Link` objects per job keep the per-link counters
+    job-local (they land in that job's metrics); the underlying queues
+    persist for the life of the pool.
+    """
+
+    def __init__(self, base: LinkFabric, router: InboxRouter, seq: int):
+        self.base = base
+        self.router = router
+        self.seq = seq
+        self.nprocs = base.nprocs
+
+    def inbox(self, rank: int) -> _JobInbox:
+        return _JobInbox(self.router, self.seq)
+
+    def outgoing(self, src: int) -> dict[int, Link]:
+        return {
+            dst: Link(src, dst, _TaggedQueue(self.base.inboxes[dst], self.seq))
+            for dst in range(self.nprocs)
+            if dst != src
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-side resident loop
+# ----------------------------------------------------------------------
+class _PoolWorker:
+    """The resident process: runs batches of jobs until told to stop."""
+
+    def __init__(self, rank, fabric, commands, result_queue, poll_s,
+                 stall_timeout_s, record_timeline):
+        self.rank = rank
+        self.fabric = fabric
+        self.commands = commands
+        self.result_queue = result_queue
+        self.poll_s = poll_s
+        self.stall_timeout_s = stall_timeout_s
+        self.record_timeline = record_timeline
+        self.router = InboxRouter(fabric.inbox(rank))
+        self.patterns: dict[str, tuple] = {}  # pid -> (context, arena)
+        self.done_seen: dict[int, set] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self) -> None:
+        try:
+            while True:
+                cmd = self.commands.get()
+                if cmd[0] == "stop":
+                    break
+                if cmd[0] == "evict":
+                    self._evict(cmd[1])
+                    continue
+                _, epoch, jobs = cmd
+                if jobs:
+                    self.router.prune(jobs[0].seq)
+                    self.done_seen = {
+                        s: v for s, v in self.done_seen.items()
+                        if s >= jobs[0].seq
+                    }
+                for job in jobs:
+                    self._run_job(job, epoch)
+        finally:
+            for _, arena in self.patterns.values():
+                if arena is not None:
+                    arena.close()
+            self.result_queue.cancel_join_thread()
+
+    def _evict(self, pattern_ids) -> None:
+        for pid in pattern_ids:
+            ctx_arena = self.patterns.pop(pid, None)
+            if ctx_arena is not None and ctx_arena[1] is not None:
+                ctx_arena[1].close()
+
+    def _install(self, context: PatternContext):
+        arena = None
+        if context.arena_name is not None:
+            from repro.runtime.arena import BlockArena
+
+            arena = BlockArena.attach(context.tg, context.arena_name)
+        self.patterns[context.pattern_id] = (context, arena)
+        return self.patterns[context.pattern_id]
+
+    # -- one job -------------------------------------------------------
+    def _run_job(self, job: PoolJob, epoch: float) -> None:
+        entry = self.patterns.get(job.pattern_id)
+        if job.context is not None:
+            entry = self._install(job.context)
+        if entry is None:
+            self._report_error(
+                job.seq,
+                f"worker {self.rank} has no context for pattern "
+                f"{job.pattern_id!r} (pool protocol breach)",
+            )
+            return
+        context, arena = entry
+        if job.wait_for is not None:
+            try:
+                self._await_done(job.wait_for)
+            except RuntimeError:
+                import traceback
+
+                self._report_error(job.seq, traceback.format_exc())
+                return
+        A = sparse.csc_matrix(
+            (job.values, context.indices, context.indptr),
+            shape=tuple(context.shape),
+        )
+        worker = Worker(
+            self.rank,
+            structure=context.structure,
+            A=A,
+            tg=context.tg,
+            owners=context.owners,
+            fabric=JobFabric(self.fabric, self.router, job.seq),
+            result_queue=_TaggedQueue(self.result_queue, job.seq),
+            priorities=context.priorities,
+            epoch=epoch,
+            poll_s=self.poll_s,
+            stall_timeout_s=self.stall_timeout_s,
+            record_timeline=self.record_timeline,
+            trace_capacity=job.trace_capacity,
+            op_fixed_cost=context.op_fixed_cost,
+            transport="shm" if arena is not None else "inline",
+            arena=arena,
+            inline_gather=True,
+        )
+        worker.run()
+        # DONE announcements consumed mid-job by the Worker count toward
+        # this job's barrier.
+        if worker.done_peers:
+            self.done_seen.setdefault(job.seq, set()).update(
+                worker.done_peers
+            )
+        if job.announce:
+            self._announce(job.seq)
+
+    def _announce(self, seq: int) -> None:
+        """Tell every peer this rank is done with job ``seq`` — sent even
+        after an error/abort so no peer blocks on a barrier forever."""
+        frame = wire.pack_done(self.rank)
+        for dst in range(self.fabric.nprocs):
+            if dst != self.rank:
+                self.fabric.inboxes[dst].put((seq, frame))
+
+    def _await_done(self, seq: int) -> None:
+        """Block until every peer announced completion of job ``seq``.
+
+        ABORT frames for ``seq`` count as completion — the erroring peer
+        will never send DONE, but it *is* finished with the arena.
+        """
+        peers = set(range(self.fabric.nprocs)) - {self.rank}
+        seen = self.done_seen.setdefault(seq, set())
+        deadline = time.monotonic() + self.stall_timeout_s
+        while not peers <= seen:
+            try:
+                item = self.router.get(seq, timeout=self.poll_s)
+            except queue_mod.Empty:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"worker {self.rank} barrier timeout: peers "
+                        f"{sorted(peers - seen)} never finished job {seq}"
+                    )
+                continue
+            for frame in item if isinstance(item, list) else [item]:
+                try:
+                    msg = wire.unpack(frame, copy=False)
+                except wire.WireError:
+                    continue
+                if msg.kind in (wire.DONE, wire.ABORT):
+                    seen.add(msg.src)
+
+    def _report_error(self, seq: int, text: str) -> None:
+        from repro.runtime.metrics import WorkerMetrics
+
+        metrics = WorkerMetrics(rank=self.rank)
+        metrics.error = text
+        self.result_queue.put(
+            (seq, WorkerResult(self.rank, metrics, []))
+        )
+
+
+def pool_worker_main(rank: int, kwargs: dict) -> None:
+    """Process entry point (module-level for the spawn start method)."""
+    _PoolWorker(rank, **kwargs).run()
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A long-lived crew of factorization workers.
+
+    Usage::
+
+        pool = WorkerPool(nprocs=4).start()
+        outcomes = pool.run_batch([PoolJob(...), ...])
+        pool.close()
+
+    The pool tracks which pattern ids this incarnation has shipped
+    (:attr:`seen_patterns`); callers include a :class:`PatternContext` on
+    a job exactly when its pattern is not in that set. :meth:`restart`
+    replaces dead processes with a fresh fabric and clears the set, so
+    contexts are re-shipped lazily.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        start_method: str | None = None,
+        poll_s: float = 0.002,
+        stall_timeout_s: float = 30.0,
+        record_timeline: bool = False,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be positive")
+        self.nprocs = nprocs
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self.start_method = start_method
+        self.poll_s = poll_s
+        self.stall_timeout_s = stall_timeout_s
+        self.record_timeline = record_timeline
+        self.seen_patterns: set[str] = set()
+        self.generation = 0
+        self._procs: list = []
+        self._commands: list = []
+        self._results = None
+        self._fabric: LinkFabric | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._procs)
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._procs) and all(p.is_alive() for p in self._procs)
+
+    def start(self) -> "WorkerPool":
+        if self.running:
+            return self
+        ctx = mp.get_context(self.start_method)
+        self._fabric = LinkFabric(self.nprocs, ctx)
+        self._commands = [ctx.Queue() for _ in range(self.nprocs)]
+        self._results = ctx.Queue()
+        self._procs = []
+        self.generation += 1
+        for rank in range(self.nprocs):
+            kwargs = dict(
+                fabric=self._fabric,
+                commands=self._commands[rank],
+                result_queue=self._results,
+                poll_s=self.poll_s,
+                stall_timeout_s=self.stall_timeout_s,
+                record_timeline=self.record_timeline,
+            )
+            p = ctx.Process(
+                target=pool_worker_main,
+                args=(rank, kwargs),
+                name=f"repro-pool-{self.generation}-{rank}",
+            )
+            p.daemon = True
+            p.start()
+            self._procs.append(p)
+        return self
+
+    def close(self) -> None:
+        """Stop the workers and release every queue. Idempotent."""
+        if not self.running:
+            return
+        for q in self._commands:
+            try:
+                q.put(("stop",))
+            except Exception:  # pragma: no cover - closed/broken queue
+                pass
+        _reap(self._procs)
+        self._procs = []
+        if self._fabric is not None:
+            self._fabric.shutdown()
+            self._fabric = None
+        for q in self._commands:
+            q.cancel_join_thread()
+            q.close()
+        self._commands = []
+        if self._results is not None:
+            self._results.cancel_join_thread()
+            self._results.close()
+            self._results = None
+        self.seen_patterns.clear()
+
+    def restart(self) -> "WorkerPool":
+        """Tear down (terminating stragglers) and bring up a fresh crew."""
+        self.close()
+        return self.start()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- pattern bookkeeping -------------------------------------------
+    def evict(self, pattern_ids) -> None:
+        """Drop cached pattern contexts (and arena attachments) on every
+        worker. The caller owns (and destroys) the arena segments."""
+        pattern_ids = [
+            pid for pid in pattern_ids if pid in self.seen_patterns
+        ]
+        if not pattern_ids or not self.running:
+            return
+        for q in self._commands:
+            q.put(("evict", list(pattern_ids)))
+        self.seen_patterns.difference_update(pattern_ids)
+
+    # -- dispatch ------------------------------------------------------
+    def run_batch(
+        self, jobs: list[PoolJob], timeout_s: float = 300.0
+    ) -> dict[int, JobOutcome]:
+        """Run ``jobs`` back to back on the resident crew.
+
+        Returns one :class:`JobOutcome` per job seq. A job whose workers
+        errored or aborted is reported failed but does not poison the
+        rest of the batch; a dead worker process or a global timeout
+        restarts the pool and fails every uncollected job.
+        """
+        if not jobs:
+            return {}
+        if not self.running:
+            self.start()
+        epoch = time.perf_counter()
+        t0 = time.monotonic()
+        for q in self._commands:
+            q.put(("batch", epoch, jobs))
+        for job in jobs:
+            if job.context is not None:
+                self.seen_patterns.add(job.pattern_id)
+        outcomes = {
+            job.seq: JobOutcome(seq=job.seq) for job in jobs
+        }
+        pending = {job.seq: self.nprocs for job in jobs}
+        deadline = t0 + timeout_s
+        broken: str | None = None
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                broken = (
+                    f"pool batch timeout after {timeout_s:.0f}s: "
+                    f"{len(pending)} job(s) incomplete"
+                )
+                break
+            try:
+                seq, res = self._results.get(timeout=min(0.1, remaining))
+            except queue_mod.Empty:
+                if not self.alive:
+                    dead = [
+                        p.name for p in self._procs if not p.is_alive()
+                    ]
+                    broken = f"pool worker process(es) died: {dead}"
+                    break
+                continue
+            out = outcomes.get(seq)
+            if out is None:  # pragma: no cover - stale result
+                continue
+            out.results[res.rank] = res
+            if res.metrics.error is not None and out.error is None:
+                out.error = res.metrics.error
+            if res.metrics.aborted:
+                out.aborted = True
+            pending[seq] -= 1
+            if pending[seq] == 0:
+                out.wall_s = time.monotonic() - t0
+                del pending[seq]
+        if broken is not None:
+            for seq in pending:
+                out = outcomes[seq]
+                if out.error is None:
+                    out.error = broken
+            self.restart()
+        return outcomes

@@ -107,6 +107,8 @@ class Worker:
         retransmit_limit: int = 5,
         transport: str = "inline",
         arena_name: str | None = None,
+        arena=None,
+        inline_gather: bool = False,
     ):
         self.rank = rank
         self.structure = structure
@@ -130,6 +132,14 @@ class Worker:
         self.retransmit_limit = retransmit_limit
         self.transport = transport
         self.arena_name = arena_name
+        #: Pre-attached :class:`~repro.runtime.arena.BlockArena` shared by
+        #: the persistent pool (:mod:`repro.runtime.pool`); when given, the
+        #: worker uses it instead of attaching by name, and never closes it.
+        self.shared_arena = arena
+        #: Ship gather frames inline even on the shm transport. The pool
+        #: reuses arena slots across jobs, so the driver cannot defer the
+        #: gather copy until after the next job may have overwritten them.
+        self.inline_gather = inline_gather
         self.metrics = WorkerMetrics(rank=rank)
         self.timeline = TimelineRecorder(enabled=record_timeline)
         #: Structured event recorder, or None (tracing off — the hot path
@@ -167,8 +177,12 @@ class Worker:
         self.chol = BlockCholesky(self.structure, self.A)
         self.inbox = self.fabric.inbox(self.rank)
         self.links = self.fabric.outgoing(self.rank)
-        self.arena = None
-        if self.transport == "shm" and self.arena_name is not None:
+        self.arena = self.shared_arena
+        if (
+            self.arena is None
+            and self.transport == "shm"
+            and self.arena_name is not None
+        ):
             from repro.runtime.arena import BlockArena
 
             self.arena = BlockArena.attach(tg, self.arena_name)
@@ -741,8 +755,8 @@ class Worker:
         predictor charges, independent of the transport."""
         return wire.HEADER_BYTES + 8 * int(self.tg.block_words[b])
 
-    def _frame_for(self, b: int) -> bytes:
-        if self.arena is not None:
+    def _frame_for(self, b: int, inline: bool = False) -> bytes:
+        if self.arena is not None and not inline:
             return self.arena.pack_ref(self.rank, b)
         tg = self.tg
         I, J = int(tg.block_I[b]), int(tg.block_J[b])
@@ -754,8 +768,9 @@ class Worker:
     # ------------------------------------------------------------------
     def _gather_frames(self) -> list[bytes]:
         """Frames for every block this worker owns (the result gather)."""
+        inline = self.inline_gather
         return [
-            self._frame_for(int(b))
+            self._frame_for(int(b), inline=inline)
             for b in np.flatnonzero(self.owners == self.rank)
         ]
 

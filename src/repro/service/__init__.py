@@ -1,0 +1,72 @@
+"""Factorization-as-a-service: a long-lived solver over the mp runtime.
+
+The paper's motivating workload is *repeated* numeric factorization of a
+fixed sparsity pattern inside interior-point LP loops, yet the one-shot
+engine pays full job setup — symbolic analysis, owner planning, worker
+spawn, arena creation — for every matrix. This package keeps all of that
+warm:
+
+* :class:`FactorService` — the driver. Owns a persistent
+  :class:`~repro.runtime.pool.WorkerPool`, a pattern cache
+  (:class:`~repro.service.cache.PatternCache`) keyed on sparsity
+  structure, and a bounded admission queue
+  (:class:`~repro.service.admission.JobQueue`). A dispatcher thread
+  drains the queue in batches; each batch is one fan-out round on the
+  resident crew.
+* :class:`ServiceClient` — in-process or TCP client; submit a matrix, or
+  a pattern handle plus a new values array, get the factor back.
+* ``python -m repro serve`` / ``python -m repro loadgen`` — run the
+  service as a server and drive it with closed- or open-loop traffic at
+  a configurable pattern-repeat ratio.
+
+Repeated-pattern traffic runs as pure numeric re-factorization: warm
+jobs skip symbolic analysis, owner planning, and worker spawn entirely,
+shipping only a float64 values array per worker. Every result can be
+validated bitwise against the sequential :class:`~repro.numeric.BlockCholesky`
+baseline (``validate=True``).
+"""
+
+from repro.service.admission import JobQueue, QueueStats
+from repro.service.cache import PatternCache, PatternEntry, pattern_digest
+from repro.service.client import ClientResult, ServiceClient
+from repro.service.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
+from repro.service.jobs import (
+    AdmissionRejected,
+    FactorJob,
+    JobFailed,
+    JobHandle,
+    JobResult,
+    ServiceClosed,
+    ServiceError,
+    UnknownPatternError,
+    ValidationFailed,
+)
+from repro.service.metrics import JobRecord, ServiceMetrics
+from repro.service.server import ServiceServer
+from repro.service.service import FactorService
+
+__all__ = [
+    "AdmissionRejected",
+    "ClientResult",
+    "FactorJob",
+    "FactorService",
+    "JobFailed",
+    "JobHandle",
+    "JobQueue",
+    "JobRecord",
+    "JobResult",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "PatternCache",
+    "PatternEntry",
+    "QueueStats",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "UnknownPatternError",
+    "ValidationFailed",
+    "pattern_digest",
+    "run_loadgen",
+]

@@ -1,0 +1,176 @@
+"""Pattern cache: symbolic analysis, owner plans, and arenas, keyed on
+sparsity structure.
+
+Two matrices with the same csc pattern (``shape``, ``indptr``,
+``indices``) factor through identical symbolic machinery — ordering,
+supernode partition, block structure, task graph, owner plan, arena
+layout. The cache stores one :class:`PatternEntry` per distinct pattern
+(LRU-bounded) so repeated-pattern traffic pays none of that setup again:
+a warm job ships a values array and runs.
+
+The digest also covers the service's planning knobs (block size,
+ordering algorithm, worker count, mapping, transport) — a service
+restarted with different knobs never aliases stale entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+
+def pattern_digest(A: sparse.csc_matrix, knobs: tuple) -> str:
+    """Stable id of a csc sparsity pattern under the given knobs."""
+    h = hashlib.sha256()
+    h.update(repr(knobs).encode())
+    h.update(np.asarray(A.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class PatternEntry:
+    """Everything the service keeps warm for one sparsity pattern."""
+
+    pattern_id: str
+    #: :class:`~repro.symbolic.SymbolicFactor` — ordering + supernodes.
+    symbolic: object
+    structure: object
+    tg: object
+    owners: np.ndarray
+    mapping_name: str
+    #: Composed fill-reducing permutation (scipy "take" convention).
+    perm: np.ndarray
+    #: Original-pattern csc arrays — interpret values-only submissions.
+    orig_indptr: np.ndarray = None
+    orig_indices: np.ndarray = None
+    #: Driver-owned shm arena for this pattern (None on inline).
+    arena: object | None = None
+    #: Seconds of cold setup this entry cost (symbolic + plan + arena).
+    setup_s: float = 0.0
+    uses: int = 0
+    #: All-zero matrix in the pattern's shape — the assembly shell
+    #: (every block is overwritten by gathered frames).
+    _empty: sparse.csc_matrix | None = field(default=None, repr=False)
+
+    @property
+    def shape(self) -> tuple:
+        return self.symbolic.A.shape
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros a values-only submission must provide."""
+        return int(self.orig_indptr[-1])
+
+    @property
+    def empty(self) -> sparse.csc_matrix:
+        if self._empty is None:
+            self._empty = sparse.csc_matrix(self.shape)
+        return self._empty
+
+    def context(self):
+        """The :class:`~repro.runtime.pool.PatternContext` to ship."""
+        from repro.runtime.pool import PatternContext
+
+        A_perm = self.symbolic.A
+        return PatternContext(
+            pattern_id=self.pattern_id,
+            structure=self.structure,
+            tg=self.tg,
+            owners=self.owners,
+            priorities=None,
+            indptr=A_perm.indptr,
+            indices=A_perm.indices,
+            shape=tuple(A_perm.shape),
+            arena_name=None if self.arena is None else self.arena.name,
+        )
+
+    def destroy(self) -> None:
+        """Release the entry's arena segment (driver owns it)."""
+        if self.arena is not None:
+            self.arena.destroy()
+            self.arena = None
+
+
+class PatternCache:
+    """LRU cache of :class:`PatternEntry`, with observable hit/miss
+    counters and an eviction hook (the service uses it to drop worker
+    attachments before destroying the arena)."""
+
+    def __init__(self, capacity: int = 8):
+        # Capacity 2+ so every in-batch pattern stays resident while the
+        # batch that introduced it is being prepared.
+        self.capacity = max(2, int(capacity))
+        self._entries: OrderedDict[str, PatternEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Called with each evicted entry *before* its arena is destroyed.
+        self.on_evict = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pattern_id: str) -> bool:
+        return pattern_id in self._entries
+
+    def lookup(self, pattern_id: str) -> PatternEntry | None:
+        """Hit-counting lookup; refreshes LRU recency."""
+        entry = self._entries.get(pattern_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        entry.uses += 1
+        self._entries.move_to_end(pattern_id)
+        return entry
+
+    def peek(self, pattern_id: str) -> PatternEntry | None:
+        """Counter-neutral lookup (does not touch recency)."""
+        return self._entries.get(pattern_id)
+
+    def put(self, entry: PatternEntry, protect=()) -> list[PatternEntry]:
+        """Insert ``entry``; evict LRU entries beyond capacity.
+
+        ``protect`` names pattern ids that must survive this insertion
+        (patterns referenced by the batch being prepared). Returns the
+        evicted entries — the caller drops worker attachments and then
+        destroys their arenas.
+        """
+        self._entries[entry.pattern_id] = entry
+        self._entries.move_to_end(entry.pattern_id)
+        evicted = []
+        protected = set(protect) | {entry.pattern_id}
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (pid for pid in self._entries if pid not in protected),
+                None,
+            )
+            if victim is None:
+                break
+            evicted.append(self._entries.pop(victim))
+            self.evictions += 1
+        if self.on_evict is not None:
+            for e in evicted:
+                self.on_evict(e)
+        return evicted
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def close(self) -> None:
+        """Destroy every cached arena. Idempotent."""
+        for entry in self._entries.values():
+            entry.destroy()
+        self._entries.clear()

@@ -1,0 +1,177 @@
+"""`ServiceClient`: one API over the in-process and TCP transports.
+
+In-process mode wraps a live :class:`~repro.service.service.FactorService`
+(same process, zero serialization). Socket mode connects to a
+``python -m repro serve`` server; requests are serialized on one socket,
+so run one client per concurrent lane (the loadgen does exactly that).
+Both modes raise the same typed errors
+(:class:`~repro.service.jobs.AdmissionRejected`,
+:class:`~repro.service.jobs.JobFailed`, ...).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.service import protocol
+from repro.service.jobs import (
+    AdmissionRejected,
+    JobFailed,
+    ServiceClosed,
+    ServiceError,
+    UnknownPatternError,
+    ValidationFailed,
+)
+
+#: Wire ``kind`` tag -> exception type raised client-side.
+_ERROR_TYPES = {
+    "rejected": lambda m: AdmissionRejected("remote", m),
+    "closed": ServiceClosed,
+    "unknown_pattern": UnknownPatternError,
+    "failed": lambda m: JobFailed("<remote>", m),
+    "validation": lambda m: ValidationFailed("<remote>", m),
+    "error": ServiceError,
+}
+
+
+@dataclass
+class ClientResult:
+    """Transport-independent result of one factorization."""
+
+    job_id: str
+    pattern_id: str
+    #: ``"hit"`` or ``"miss"``.
+    cache: str
+    #: The factor, in permuted order.
+    L: object
+    #: Fill-reducing permutation (for :func:`solve`).
+    perm: np.ndarray
+    #: Service-side timing record as a plain dict.
+    record: dict | None = None
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        from repro.numeric import solve_with_factor
+
+        return solve_with_factor(self.L, b, self.perm)
+
+
+class ServiceClient:
+    """Submit factorizations to a service, local or remote.
+
+    >>> client = ServiceClient(service=svc)            # in-process
+    >>> client = ServiceClient(address=("host", 9876))  # TCP
+    >>> res = client.factor(A)
+    >>> res2 = client.factor(pattern_id=res.pattern_id, values=new_data)
+    """
+
+    def __init__(
+        self,
+        service=None,
+        address: tuple[str, int] | None = None,
+        timeout: float | None = 120.0,
+    ):
+        if (service is None) == (address is None):
+            raise ValueError("give exactly one of service= or address=")
+        self.service = service
+        self.address = address
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        if address is not None:
+            self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self.address, timeout=None)
+        self._sock.setsockopt(
+            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+        )
+
+    # ------------------------------------------------------------------
+    def _request(self, msg: dict) -> dict:
+        with self._lock:
+            protocol.send_msg(self._sock, msg)
+            response = protocol.recv_msg(self._sock)
+        if response is None:
+            raise ServiceClosed("server closed the connection")
+        if not response.get("ok"):
+            make = _ERROR_TYPES.get(response.get("kind"), ServiceError)
+            raise make(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        if self.service is not None:
+            return not self.service.queue.closed
+        return bool(self._request({"op": "ping"})["ok"])
+
+    def factor(
+        self,
+        A=None,
+        pattern_id: str | None = None,
+        values: np.ndarray | None = None,
+        job_id: str | None = None,
+        timeout: float | None = None,
+    ) -> ClientResult:
+        """Factor a matrix (or pattern handle + values); blocks until
+        the job completes. Raises the service's typed errors."""
+        timeout = self.timeout if timeout is None else timeout
+        if self.service is not None:
+            handle = self.service.submit(
+                A=A, pattern_id=pattern_id, values=values,
+                job_id=job_id, timeout=timeout,
+            )
+            res = handle.result(timeout)
+            return ClientResult(
+                job_id=res.job_id,
+                pattern_id=res.pattern_id,
+                cache=res.cache,
+                L=res.L,
+                perm=res.perm,
+                record=None if res.record is None else res.record.to_dict(),
+            )
+        msg = {
+            "op": "factor",
+            "pattern_id": pattern_id,
+            "job_id": job_id,
+            "timeout": timeout,
+        }
+        if A is not None:
+            msg["A"] = protocol.pack_csc(A)
+        if values is not None:
+            msg["values"] = np.ascontiguousarray(values, dtype=np.float64)
+        r = self._request(msg)
+        return ClientResult(
+            job_id=r["job_id"],
+            pattern_id=r["pattern_id"],
+            cache=r["cache"],
+            L=protocol.unpack_csc(r["L"]),
+            perm=np.asarray(r["perm"]),
+            record=r.get("record"),
+        )
+
+    def stats(self) -> dict:
+        if self.service is not None:
+            return self.service.stats()
+        return self._request({"op": "stats"})["stats"]
+
+    def shutdown_server(self) -> None:
+        """Ask a remote server to stop serving (no-op in-process)."""
+        if self.service is None:
+            self._request({"op": "shutdown"})
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,84 @@
+"""Length-prefixed pickle framing for the service's TCP transport.
+
+One request, one response, many rounds per connection. The payload is a
+plain dict of JSON-ish values plus numpy arrays / csc triplets (pickle
+protocol 5 keeps large arrays zero-copy on the encode side).
+
+Security note: pickle deserialization executes arbitrary code — the
+server binds to localhost by default and the protocol is intended for
+same-host (or otherwise trusted) clients only, matching the
+multiprocessing transport the runtime already relies on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+#: 8-byte big-endian length prefix.
+_HEADER = struct.Struct(">Q")
+
+#: Refuse absurd frames before allocating (1 GiB).
+MAX_FRAME = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame or truncated stream."""
+
+
+def send_msg(sock: socket.socket, obj) -> None:
+    payload = pickle.dumps(obj, protocol=5)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"stream truncated mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket):
+    """Next message, or None on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("stream truncated between header and payload")
+    return pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# csc matrices travel as plain triplets (no scipy pickle internals).
+# ----------------------------------------------------------------------
+def pack_csc(M) -> dict:
+    M = M.tocsc()
+    return {
+        "data": M.data,
+        "indices": M.indices,
+        "indptr": M.indptr,
+        "shape": tuple(M.shape),
+    }
+
+
+def unpack_csc(d: dict):
+    from scipy import sparse
+
+    return sparse.csc_matrix(
+        (d["data"], d["indices"], d["indptr"]), shape=tuple(d["shape"])
+    )

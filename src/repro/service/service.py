@@ -1,0 +1,524 @@
+"""The :class:`FactorService` driver: warm pool + pattern cache +
+admission queue + batched dispatch.
+
+Lifecycle of a job::
+
+    submit(A)                admission queue          dispatcher thread
+    ───────────▶ JobQueue ──────────────────▶ get_batch() ─┐
+                  (reject/block/shed)                      │ resolve
+                                                           │ pattern
+                                                           ▼
+                              WorkerPool.run_batch([PoolJob, ...])
+                                                           │
+                  JobHandle ◀── assemble + validate ◀──────┘
+
+Cold jobs (pattern never seen) pay symbolic analysis, owner planning,
+and arena creation once; the resulting :class:`PatternEntry` is cached
+and its context shipped to the resident workers with the first job.
+Warm jobs ship a values array. Either way the numeric result is bitwise
+identical to the sequential :class:`~repro.numeric.BlockCholesky` —
+``validate=True`` asserts that on every job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+
+import numpy as np
+from scipy import sparse
+
+from repro.runtime.arena import BlockArena, resolve_transport
+from repro.runtime.engine import _assemble, _merge_trace
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.pool import PoolJob, WorkerPool
+from repro.service.admission import JobQueue
+from repro.service.cache import PatternCache, PatternEntry, pattern_digest
+from repro.service.jobs import (
+    AdmissionRejected,
+    FactorJob,
+    JobFailed,
+    JobHandle,
+    JobResult,
+    ServiceClosed,
+    UnknownPatternError,
+    ValidationFailed,
+)
+from repro.service.metrics import JobRecord, ServiceMetrics
+
+#: Errors the dispatcher turns into per-job failures rather than letting
+#: them crash the batch (``ValidationFailed`` subclasses ``JobFailed``).
+_PER_JOB_ERRORS = (UnknownPatternError, JobFailed)
+
+
+class _Queued:
+    """A job waiting for dispatch (handle + admission timestamp)."""
+
+    __slots__ = ("job", "handle", "enqueued_at")
+
+    def __init__(self, job: FactorJob, handle: JobHandle):
+        self.job = job
+        self.handle = handle
+        self.enqueued_at = time.monotonic()
+
+
+class FactorService:
+    """A long-lived factorization service over the persistent pool.
+
+    Parameters mirror :class:`~repro.solver.SparseCholesky` where they
+    overlap (``ordering``, ``block_size``, ``nprocs``, ``mapping``,
+    ``use_domains``, ``transport``, ``trace``); the service-specific
+    knobs are the admission policy (``admission`` + ``queue_capacity``),
+    the batching window (``max_batch`` + ``batch_wait_s``), the pattern
+    cache bound (``cache_capacity``), and ``validate`` (bitwise-check
+    every factor against the sequential baseline before releasing it).
+    """
+
+    def __init__(
+        self,
+        nprocs: int = 2,
+        ordering: str = "auto",
+        block_size: int = 48,
+        mapping: str = "DW/CY",
+        use_domains: bool = False,
+        transport: str = "auto",
+        queue_capacity: int = 64,
+        admission: str = "block",
+        max_batch: int = 8,
+        batch_wait_s: float = 0.002,
+        cache_capacity: int = 8,
+        validate: bool = False,
+        trace: bool | int | None = None,
+        start_method: str | None = None,
+        stall_timeout_s: float = 30.0,
+        batch_timeout_s: float = 300.0,
+        record_timeline: bool = False,
+    ):
+        self.nprocs = int(nprocs)
+        self.ordering = ordering
+        self.block_size = int(block_size)
+        self.mapping = mapping
+        self.use_domains = use_domains
+        self.transport = resolve_transport(transport, self.nprocs)
+        self.validate = validate
+        self.max_batch = max(1, int(max_batch))
+        self.batch_wait_s = float(batch_wait_s)
+        self.batch_timeout_s = float(batch_timeout_s)
+        if trace is None or trace is False:
+            self.trace_capacity = 0
+        elif trace is True:
+            from repro.runtime.trace import DEFAULT_CAPACITY
+
+            self.trace_capacity = DEFAULT_CAPACITY
+        else:
+            self.trace_capacity = int(trace)
+        self.pool = WorkerPool(
+            self.nprocs,
+            start_method=start_method,
+            stall_timeout_s=stall_timeout_s,
+            record_timeline=record_timeline,
+        )
+        self.cache = PatternCache(cache_capacity)
+        self.queue = JobQueue(queue_capacity, admission)
+        self.metrics = ServiceMetrics()
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._started = False
+        self._dispatcher: threading.Thread | None = None
+        #: Entries whose arenas must be released after the current batch
+        #: (cache evictions are deferred past in-flight jobs).
+        self._pending_evictions: list[PatternEntry] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FactorService":
+        with self._lock:
+            if self._started:
+                return self
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            self.pool.start()
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-service-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
+            self._started = True
+        return self
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain-free shutdown: pending jobs fail with
+        :class:`ServiceClosed`; the pool and every arena are released.
+        Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.queue.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+        for queued in self.queue.drain():
+            self._finish_rejected(
+                queued, ServiceClosed("service is shut down"), "failed"
+            )
+        self.pool.close()
+        self._release_evictions()
+        self.cache.close()
+
+    def __enter__(self) -> "FactorService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        A: sparse.spmatrix | None = None,
+        pattern_id: str | None = None,
+        values: np.ndarray | None = None,
+        job_id: str | None = None,
+        timeout: float | None = None,
+    ) -> JobHandle:
+        """Queue one factorization; returns immediately with a handle.
+
+        ``timeout`` bounds the backpressure wait under the ``"block"``
+        admission policy. Raises :class:`AdmissionRejected` /
+        :class:`ServiceClosed` at submit time — a full queue is a typed
+        error, never a hang.
+        """
+        if not self._started:
+            self.start()
+        job = FactorJob(
+            job_id=job_id or uuid.uuid4().hex[:12],
+            A=A,
+            pattern_id=pattern_id,
+            values=values,
+        )
+        handle = JobHandle(job)
+        self.metrics.count_submitted()
+        try:
+            shed = self.queue.put(_Queued(job, handle), timeout=timeout)
+        except AdmissionRejected:
+            self.metrics.count_rejected()
+            raise
+        if shed is not None:
+            self._finish_rejected(
+                shed, AdmissionRejected("shed", "shed under overload"),
+                "shed",
+            )
+        return handle
+
+    def factor(self, A=None, timeout: float | None = None, **kw) -> JobResult:
+        """Submit and wait — the one-call path."""
+        return self.submit(A, **kw).result(timeout)
+
+    def stats(self) -> dict:
+        """Service-level counters + aggregates (JSON-safe)."""
+        return {
+            "nprocs": self.nprocs,
+            "transport": self.transport,
+            "mapping": self.mapping,
+            "pool_generation": self.pool.generation,
+            "queue": self.queue.stats.to_dict(),
+            "pattern_cache": self.cache.stats(),
+            "service": self.metrics.to_dict(include_records=False),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.queue.get_batch(self.max_batch, self.batch_wait_s)
+            if not batch:
+                if self.queue.closed:
+                    return
+                continue
+            try:
+                self._run_batch(batch)
+            except BaseException as exc:  # noqa: BLE001 - keep serving
+                for queued in batch:
+                    if not queued.handle.done():
+                        self._finish_failed(
+                            queued,
+                            JobFailed(queued.job.job_id, repr(exc)),
+                            record=JobRecord(
+                                job_id=queued.job.job_id,
+                                status="failed",
+                                error=repr(exc),
+                            ),
+                        )
+
+    def _run_batch(self, batch: list) -> None:
+        self.metrics.count_batch()
+        t_dispatch = time.monotonic()
+        specs: list[PoolJob] = []
+        prepared: list[tuple] = []  # (queued, entry, record, seq)
+        protect = {
+            q.job.pattern_id for q in batch if q.job.pattern_id
+        }
+        last_on_arena: dict[str, int] = {}
+        for queued in batch:
+            record = JobRecord(
+                job_id=queued.job.job_id,
+                queue_wait_s=t_dispatch - queued.enqueued_at,
+            )
+            try:
+                entry, record.cache, A_full = self._resolve_entry(
+                    queued.job, record, protect
+                )
+                values = self._job_values(queued.job, entry, A_full)
+            except _PER_JOB_ERRORS as exc:
+                record.status = "failed"
+                record.error = str(exc)
+                self._finish_failed(queued, exc, record)
+                continue
+            protect.add(entry.pattern_id)
+            seq = next(self._seq)
+            spec = PoolJob(
+                seq=seq,
+                pattern_id=entry.pattern_id,
+                values=values,
+                context=(
+                    entry.context()
+                    if entry.pattern_id not in self.pool.seen_patterns
+                    else None
+                ),
+                wait_for=last_on_arena.get(entry.pattern_id),
+                trace_capacity=self.trace_capacity,
+            )
+            if entry.arena is not None:
+                last_on_arena[entry.pattern_id] = seq
+            if spec.context is not None:
+                # run_batch records it too, but later jobs in *this* loop
+                # must already see the pattern as shipped.
+                self.pool.seen_patterns.add(entry.pattern_id)
+            specs.append(spec)
+            prepared.append((queued, entry, record, seq))
+        # A job needs a DONE announcement exactly when a later job in the
+        # batch waits on its arena slots.
+        waited_on = {s.wait_for for s in specs if s.wait_for is not None}
+        for spec in specs:
+            spec.announce = spec.seq in waited_on
+        if specs:
+            outcomes = self.pool.run_batch(
+                specs, timeout_s=self.batch_timeout_s
+            )
+            for queued, entry, record, seq in prepared:
+                record.batch_size = len(specs)
+                self._finish_job(queued, entry, record, outcomes[seq])
+        self._release_evictions()
+
+    # -- pattern resolution --------------------------------------------
+    def _resolve_entry(self, job: FactorJob, record: JobRecord, protect):
+        """Find or build the job's :class:`PatternEntry`.
+
+        Returns ``(entry, "hit"|"miss", A_full)`` where ``A_full`` is
+        the client's matrix (None on the values-only path).
+        """
+        if job.pattern_id is not None:
+            entry = self.cache.lookup(job.pattern_id)
+            if entry is None:
+                self.cache.misses -= 1  # not a buildable miss
+                raise UnknownPatternError(
+                    f"pattern {job.pattern_id!r} is not cached "
+                    "(evicted, or from a previous service run); "
+                    "resubmit the full matrix"
+                )
+            record.pattern_id = entry.pattern_id
+            return entry, "hit", None
+        pid = pattern_digest(job.A, self._knobs())
+        record.pattern_id = pid
+        entry = self.cache.lookup(pid)
+        if entry is not None:
+            return entry, "hit", job.A
+        t0 = time.monotonic()
+        entry = self._build_entry(pid, job.A)
+        entry.setup_s = time.monotonic() - t0
+        record.setup_s = entry.setup_s
+        for evicted in self.cache.put(entry, protect=protect):
+            self.pool.evict([evicted.pattern_id])
+            self._pending_evictions.append(evicted)
+        return entry, "miss", job.A
+
+    def _knobs(self) -> tuple:
+        return (
+            self.ordering,
+            self.block_size,
+            self.nprocs,
+            self.mapping,
+            self.use_domains,
+            self.transport,
+        )
+
+    def _build_entry(self, pid: str, A: sparse.csc_matrix) -> PatternEntry:
+        """Cold setup: symbolic analysis, owner plan, arena — once per
+        pattern."""
+        from repro.blocks import BlockPartition, BlockStructure, WorkModel
+        from repro.fanout import TaskGraph
+        from repro.runtime.engine import plan_owners
+        from repro.solver import SparseCholesky
+        from repro.symbolic import symbolic_factor
+
+        perm = SparseCholesky._resolve_ordering(A, self.ordering)
+        symbolic = symbolic_factor(A, perm)
+        structure = BlockStructure(BlockPartition(symbolic, self.block_size))
+        wm = WorkModel(structure)
+        tg = TaskGraph(wm)
+        owners, name = plan_owners(
+            wm, tg, self.nprocs, self.mapping, self.use_domains
+        )
+        arena = None
+        if self.transport == "shm":
+            arena = BlockArena.create(tg)
+        return PatternEntry(
+            pattern_id=pid,
+            symbolic=symbolic,
+            structure=structure,
+            tg=tg,
+            owners=owners,
+            mapping_name=name,
+            perm=np.asarray(symbolic.ordering.perm),
+            orig_indptr=A.indptr.copy(),
+            orig_indices=A.indices.copy(),
+            arena=arena,
+        )
+
+    def _job_values(self, job, entry: PatternEntry, A_full) -> np.ndarray:
+        """The permuted csc data array the workers factor."""
+        from repro.ordering import permute_spd
+
+        if A_full is None:
+            if job.values.shape[0] != entry.nnz:
+                raise JobFailed(
+                    job.job_id,
+                    f"values array has {job.values.shape[0]} entries; "
+                    f"pattern {entry.pattern_id!r} has {entry.nnz}",
+                )
+            A_full = sparse.csc_matrix(
+                (job.values, entry.orig_indices, entry.orig_indptr),
+                shape=entry.shape,
+            )
+        elif A_full.shape != entry.shape:
+            raise JobFailed(
+                job.job_id,
+                f"matrix shape {A_full.shape} != pattern {entry.shape}",
+            )
+        # Same deterministic permutation the cold path took — the warm
+        # factor stays bitwise identical to a cold factor() of the same
+        # values.
+        return permute_spd(A_full, entry.perm).data
+
+    # -- completion -----------------------------------------------------
+    def _finish_job(self, queued, entry, record, outcome) -> None:
+        if not outcome.ok:
+            detail = outcome.error or "aborted"
+            record.status = "failed"
+            record.error = detail
+            self._finish_failed(
+                queued, JobFailed(queued.job.job_id, detail), record
+            )
+            return
+        record.run_s = outcome.wall_s
+        t0 = time.monotonic()
+        try:
+            factor = _assemble(
+                entry.structure, entry.empty, entry.tg, outcome.results
+            )
+            L = factor.to_csc()
+            if self.validate:
+                self._validate(queued.job, entry, L)
+        except ValidationFailed as exc:
+            record.status = "failed"
+            record.error = str(exc)
+            self._finish_failed(queued, exc, record)
+            return
+        record.assemble_s = time.monotonic() - t0
+        record.e2e_s = time.monotonic() - queued.job.submitted_at
+        metrics = self._job_metrics(entry, record, outcome)
+        trace = None
+        if self.trace_capacity:
+            trace = _merge_trace(
+                outcome.results, self.nprocs, entry.mapping_name,
+                self.pool.start_method, None, wall_s=outcome.wall_s,
+            )
+        result = JobResult(
+            job_id=queued.job.job_id,
+            pattern_id=entry.pattern_id,
+            cache=record.cache,
+            L=L,
+            perm=entry.perm,
+            factor=factor,
+            metrics=metrics,
+            trace=trace,
+            record=record,
+        )
+        self.metrics.add(record)
+        queued.handle.set_result(result)
+
+    def _validate(self, job, entry: PatternEntry, L) -> None:
+        """Bitwise check against the sequential baseline (the runtime's
+        determinism makes exact equality the correct bar)."""
+        from repro.numeric import BlockCholesky
+
+        A_perm = sparse.csc_matrix(
+            (self._job_values(job, entry,
+                              job.A if job.A is not None else None),
+             entry.symbolic.A.indices, entry.symbolic.A.indptr),
+            shape=entry.shape,
+        )
+        ref = BlockCholesky(entry.structure, A_perm).factor().to_csc()
+        same = (
+            np.array_equal(L.indptr, ref.indptr)
+            and np.array_equal(L.indices, ref.indices)
+            and np.array_equal(L.data, ref.data)
+        )
+        if not same:
+            raise ValidationFailed(
+                job.job_id,
+                "parallel factor differs bitwise from the sequential "
+                "baseline",
+            )
+
+    def _job_metrics(self, entry, record, outcome) -> RuntimeMetrics:
+        metrics = RuntimeMetrics(
+            nprocs=self.nprocs,
+            wall_s=outcome.wall_s,
+            workers=[
+                res.metrics for res in outcome.results.values()
+            ],
+            mapping=entry.mapping_name,
+            problem=entry.pattern_id,
+            transport="shm" if entry.arena is not None else "inline",
+        )
+        metrics.extra["service"] = {
+            "job_id": record.job_id,
+            "cache": record.cache,
+            "batch_size": record.batch_size,
+            "queue_wait_s": record.queue_wait_s,
+        }
+        return metrics
+
+    def _finish_failed(self, queued, exc, record) -> None:
+        self.metrics.add(record)
+        queued.handle.set_exception(exc)
+
+    def _finish_rejected(self, queued, exc, status: str) -> None:
+        record = JobRecord(
+            job_id=queued.job.job_id, status=status, error=str(exc)
+        )
+        self.metrics.add(record)
+        queued.handle.set_exception(exc)
+
+    def _release_evictions(self) -> None:
+        for entry in self._pending_evictions:
+            entry.destroy()
+        self._pending_evictions.clear()

@@ -69,7 +69,11 @@ class SparseCholesky:
         Panel width B (default 48, the paper's choice).
     backend:
         ``"sequential"`` (default), ``"threads"`` (shared-memory thread
-        pool), or ``"mp"`` (real message-passing worker processes).
+        pool), ``"mp"`` (real message-passing worker processes), or
+        ``"service"`` (delegate the numeric work to a long-lived
+        :class:`repro.service.FactorService` / connected
+        :class:`~repro.service.ServiceClient`, passed via ``service=`` —
+        repeated factorizations reuse its warm pool and pattern cache).
     nprocs:
         Worker count for the parallel backends.
     mapping:
@@ -102,7 +106,7 @@ class SparseCholesky:
     :meth:`factor` calls (and same-P recovery restarts) skip re-planning.
     """
 
-    BACKENDS = ("sequential", "threads", "mp")
+    BACKENDS = ("sequential", "threads", "mp", "service")
 
     def __init__(
         self,
@@ -117,6 +121,7 @@ class SparseCholesky:
         max_restarts: int = 2,
         trace: bool | int | None = None,
         transport: str = "auto",
+        service=None,
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
@@ -142,8 +147,19 @@ class SparseCholesky:
         self.max_restarts = max_restarts
         self.trace = trace
         self.transport = transport
+        if backend == "service" and service is None:
+            raise ValueError(
+                'backend="service" needs a running service: pass '
+                "service=FactorService(...) or a connected ServiceClient"
+            )
+        self.service = service
         #: Memoized ``(P, mapping, use_domains) -> (owners, name)`` plans.
         self._plan_cache: dict = {}
+        #: Observable plan reuse: how often :meth:`_plan` served a
+        #: memoized owner plan vs computed one (lands in
+        #: ``runtime_metrics.extra["plan_cache"]`` after ``"mp"`` runs).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         #: Structured recovery outcome of the last ``"mp"`` factorization
         #: run under a fault plan (None otherwise).
         self.failure_report = None
@@ -193,7 +209,10 @@ class SparseCholesky:
         from repro.runtime import plan_owners
 
         key = (P, self.mapping, self.use_domains)
-        if key not in self._plan_cache:
+        if key in self._plan_cache:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
             self._plan_cache[key] = plan_owners(
                 self.workmodel, self.taskgraph, P,
                 self.mapping, self.use_domains,
@@ -202,6 +221,8 @@ class SparseCholesky:
 
     def factor(self) -> "SparseCholesky":
         """Numerically factor with the configured backend; returns self."""
+        if self.backend == "service":
+            return self._factor_via_service()
         if self.backend == "sequential":
             self._numeric = BlockCholesky(
                 self.structure, self.symbolic.A
@@ -250,7 +271,34 @@ class SparseCholesky:
             self._numeric = result.factor
             self.runtime_metrics = result.metrics
             self.run_trace = result.trace
+        if self.runtime_metrics is not None:
+            self.runtime_metrics.extra["plan_cache"] = {
+                "hits": self.plan_cache_hits,
+                "misses": self.plan_cache_misses,
+            }
         self._L = self._numeric.to_csc()
+        return self
+
+    def _factor_via_service(self) -> "SparseCholesky":
+        """Delegate the numeric work to a long-lived
+        :class:`repro.service.FactorService` (or a connected
+        :class:`~repro.service.ServiceClient`) — repeated factorizations
+        of this pattern reuse the service's warm pool and cached
+        symbolic analysis instead of spawning workers per call.
+
+        The factor comes back in the *service's* permutation; solves go
+        through it, so the service may be configured with a different
+        ordering than this instance.
+        """
+        result = self.service.factor(A=self.A)
+        self._numeric = getattr(result, "factor", None)
+        self._L = result.L
+        self._solve_perm = np.asarray(result.perm)
+        self.runtime_metrics = getattr(result, "metrics", None)
+        self.run_trace = getattr(result, "trace", None)
+        #: Service-side pattern handle + timing record of the last job.
+        self.service_pattern_id = result.pattern_id
+        self.service_record = result.record
         return self
 
     @property
@@ -261,7 +309,10 @@ class SparseCholesky:
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` using the computed factor."""
-        return solve_with_factor(self.L, b, self.symbolic.ordering)
+        perm = getattr(self, "_solve_perm", None)
+        if perm is None:
+            perm = self.symbolic.ordering
+        return solve_with_factor(self.L, b, perm)
 
     # ------------------------------------------------------------------
     def plan_parallel(

@@ -1,0 +1,268 @@
+"""The persistent worker pool: multi-job batches on a resident crew,
+values-only warm dispatch, bitwise re-factorization on both transports,
+arena-reuse barriers, failure containment, and restart semantics."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.numeric import BlockCholesky
+from repro.ordering import permute_spd
+from repro.runtime import (
+    PatternContext,
+    PoolJob,
+    WorkerPool,
+    plan_owners,
+    shm_available,
+)
+from repro.runtime.arena import BlockArena
+from repro.runtime.engine import _assemble
+
+
+@pytest.fixture(scope="module")
+def pool_problem(grid12_pipeline):
+    """Owner plan + permuted matrices (two value sets, one pattern)."""
+    _, sf, _, bs, wm, tg = grid12_pipeline
+    owners, _ = plan_owners(wm, tg, 2, "DW/CY", False)
+    A_perm = sf.A.tocsc()
+    A2 = sf.A.copy().tocsc()
+    A2.setdiag(A2.diagonal() + 1.5)
+    return {
+        "structure": bs,
+        "tg": tg,
+        "owners": owners,
+        "A_perm": A_perm,
+        "A2_perm": A2,
+        "L1": BlockCholesky(bs, A_perm).factor().to_csc(),
+        "L2": BlockCholesky(bs, A2).factor().to_csc(),
+    }
+
+
+def _context(p, pattern_id, arena_name=None):
+    A = p["A_perm"]
+    return PatternContext(
+        pattern_id=pattern_id,
+        structure=p["structure"],
+        tg=p["tg"],
+        owners=p["owners"],
+        priorities=None,
+        indptr=A.indptr,
+        indices=A.indices,
+        shape=tuple(A.shape),
+        arena_name=arena_name,
+    )
+
+
+def _factor_of(p, outcome):
+    assert outcome.ok, (outcome.error, outcome.aborted)
+    empty = sparse.csc_matrix(p["A_perm"].shape)
+    return _assemble(
+        p["structure"], empty, p["tg"], outcome.results
+    ).to_csc()
+
+
+def _bitwise(L, ref):
+    return (
+        np.array_equal(L.indptr, ref.indptr)
+        and np.array_equal(L.indices, ref.indices)
+        and np.array_equal(L.data, ref.data)
+    )
+
+
+class TestInlinePool:
+    def test_batch_with_warm_jobs_bitwise(self, pool_problem):
+        """Same pattern, new values: every pooled job — cold and warm —
+        must reproduce the sequential factor bitwise (inline)."""
+        p = pool_problem
+        with WorkerPool(nprocs=2) as pool:
+            out = pool.run_batch([
+                PoolJob(seq=0, pattern_id="g", values=p["A_perm"].data,
+                        context=_context(p, "g")),
+                PoolJob(seq=1, pattern_id="g", values=p["A2_perm"].data),
+                PoolJob(seq=2, pattern_id="g", values=p["A_perm"].data),
+            ], timeout_s=120)
+            assert _bitwise(_factor_of(p, out[0]), p["L1"])
+            assert _bitwise(_factor_of(p, out[1]), p["L2"])
+            assert _bitwise(_factor_of(p, out[2]), p["L1"])
+
+    def test_context_survives_batches(self, pool_problem):
+        """A later batch needs no context re-ship for a seen pattern."""
+        p = pool_problem
+        with WorkerPool(nprocs=2) as pool:
+            out = pool.run_batch([
+                PoolJob(seq=0, pattern_id="g", values=p["A_perm"].data,
+                        context=_context(p, "g")),
+            ], timeout_s=120)
+            assert out[0].ok
+            assert "g" in pool.seen_patterns
+            out = pool.run_batch([
+                PoolJob(seq=1, pattern_id="g", values=p["A2_perm"].data),
+            ], timeout_s=120)
+            assert _bitwise(_factor_of(p, out[1]), p["L2"])
+
+    def test_missing_context_is_typed_error(self, pool_problem):
+        p = pool_problem
+        with WorkerPool(nprocs=2) as pool:
+            out = pool.run_batch([
+                PoolJob(seq=0, pattern_id="nope", values=p["A_perm"].data),
+            ], timeout_s=60)
+            assert not out[0].ok
+            assert "protocol breach" in out[0].error
+
+    def test_per_job_metrics_isolated(self, pool_problem):
+        """Each job's metrics cover only that job's traffic."""
+        p = pool_problem
+        with WorkerPool(nprocs=2) as pool:
+            out = pool.run_batch([
+                PoolJob(seq=0, pattern_id="g", values=p["A_perm"].data,
+                        context=_context(p, "g")),
+                PoolJob(seq=1, pattern_id="g", values=p["A_perm"].data),
+            ], timeout_s=120)
+        m0 = sum(r.metrics.messages_sent for r in out[0].results.values())
+        m1 = sum(r.metrics.messages_sent for r in out[1].results.values())
+        assert m0 == m1  # identical jobs, identical per-job counters
+        for out_i in out.values():
+            tasks = sum(
+                r.metrics.tasks_executed for r in out_i.results.values()
+            )
+            assert tasks == p["tg"].ntasks
+
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+class TestShmPool:
+    def test_arena_reuse_barrier_bitwise(self, pool_problem):
+        """Same-arena jobs serialize behind the DONE barrier and stay
+        bitwise-correct; the arena survives the whole batch (shm)."""
+        p = pool_problem
+        arena = BlockArena.create(p["tg"])
+        try:
+            with WorkerPool(nprocs=2) as pool:
+                out = pool.run_batch([
+                    PoolJob(seq=0, pattern_id="g",
+                            values=p["A_perm"].data,
+                            context=_context(p, "g", arena.name),
+                            announce=True),
+                    PoolJob(seq=1, pattern_id="g",
+                            values=p["A2_perm"].data,
+                            wait_for=0, announce=True),
+                    PoolJob(seq=2, pattern_id="g",
+                            values=p["A_perm"].data, wait_for=1),
+                ], timeout_s=120)
+                assert _bitwise(_factor_of(p, out[0]), p["L1"])
+                assert _bitwise(_factor_of(p, out[1]), p["L2"])
+                assert _bitwise(_factor_of(p, out[2]), p["L1"])
+        finally:
+            arena.destroy()
+
+    def test_shm_wire_bytes_stay_descriptor_sized(self, pool_problem):
+        """Pool jobs on shm still ship 64-byte descriptors peer-to-peer
+        (the gather alone travels inline)."""
+        p = pool_problem
+        arena = BlockArena.create(p["tg"])
+        try:
+            with WorkerPool(nprocs=2) as pool:
+                out = pool.run_batch([
+                    PoolJob(seq=0, pattern_id="g",
+                            values=p["A_perm"].data,
+                            context=_context(p, "g", arena.name)),
+                ], timeout_s=120)
+                assert out[0].ok
+                w = out[0].results
+                wire = sum(r.metrics.wire_bytes_sent for r in w.values())
+                logical = sum(r.metrics.bytes_sent for r in w.values())
+                assert 0 < wire < logical
+        finally:
+            arena.destroy()
+
+
+class TestPoolLifecycle:
+    def test_restart_clears_seen_patterns(self, pool_problem):
+        p = pool_problem
+        pool = WorkerPool(nprocs=2).start()
+        try:
+            pool.run_batch([
+                PoolJob(seq=0, pattern_id="g", values=p["A_perm"].data,
+                        context=_context(p, "g")),
+            ], timeout_s=120)
+            assert "g" in pool.seen_patterns
+            gen = pool.generation
+            pool.restart()
+            assert pool.generation == gen + 1
+            assert not pool.seen_patterns
+            # context must be re-shipped after restart
+            out = pool.run_batch([
+                PoolJob(seq=1, pattern_id="g", values=p["A_perm"].data,
+                        context=_context(p, "g")),
+            ], timeout_s=120)
+            assert _bitwise(_factor_of(p, out[1]), p["L1"])
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(nprocs=2).start()
+        pool.close()
+        pool.close()
+        assert not pool.running
+
+    def test_evict_forces_reship(self, pool_problem):
+        p = pool_problem
+        with WorkerPool(nprocs=2) as pool:
+            pool.run_batch([
+                PoolJob(seq=0, pattern_id="g", values=p["A_perm"].data,
+                        context=_context(p, "g")),
+            ], timeout_s=120)
+            pool.evict(["g"])
+            assert "g" not in pool.seen_patterns
+            out = pool.run_batch([
+                PoolJob(seq=1, pattern_id="g", values=p["A2_perm"].data,
+                        context=_context(p, "g")),
+            ], timeout_s=120)
+            assert _bitwise(_factor_of(p, out[1]), p["L2"])
+
+
+class TestWarmEqualsCold:
+    """The service acceptance bar: a warm re-factorization (cached
+    pattern, new values) is bitwise identical to a cold factor() of the
+    same values, on both transports."""
+
+    @pytest.mark.parametrize("transport", ["inline", "shm"])
+    def test_refactorization_bitwise(self, grid12_pipeline, transport):
+        if transport == "shm" and not shm_available():
+            pytest.skip("no POSIX shared memory")
+        problem, sf, _, bs, wm, tg = grid12_pipeline
+        owners, _ = plan_owners(wm, tg, 2, "DW/CY", False)
+        # "new values": the original matrix with a shifted diagonal,
+        # permuted exactly as the cold path permutes it.
+        A_new = problem.A.tocsc().copy()
+        A_new.setdiag(A_new.diagonal() + 0.75)
+        A_new_perm = permute_spd(A_new, sf.ordering)
+        cold = BlockCholesky(bs, A_new_perm).factor().to_csc()
+
+        arena = BlockArena.create(tg) if transport == "shm" else None
+        A_perm = sf.A.tocsc()
+        ctx = PatternContext(
+            pattern_id="warm",
+            structure=bs, tg=tg, owners=owners, priorities=None,
+            indptr=A_perm.indptr, indices=A_perm.indices,
+            shape=tuple(A_perm.shape),
+            arena_name=None if arena is None else arena.name,
+        )
+        try:
+            with WorkerPool(nprocs=2) as pool:
+                out = pool.run_batch([
+                    PoolJob(seq=0, pattern_id="warm",
+                            values=A_perm.data, context=ctx,
+                            announce=arena is not None),
+                    PoolJob(seq=1, pattern_id="warm",
+                            values=A_new_perm.data,
+                            wait_for=0 if arena is not None else None),
+                ], timeout_s=120)
+                assert out[1].ok, out[1].error
+                empty = sparse.csc_matrix(A_perm.shape)
+                warm = _assemble(bs, empty, tg, out[1].results).to_csc()
+        finally:
+            if arena is not None:
+                arena.destroy()
+        assert np.array_equal(warm.indptr, cold.indptr)
+        assert np.array_equal(warm.indices, cold.indices)
+        assert np.array_equal(warm.data, cold.data)

@@ -1,0 +1,450 @@
+"""The factorization service: pattern cache behavior, warm-path bitwise
+correctness, admission control, typed errors, the TCP client/server
+pair, the solver facade's ``backend="service"``, and the seeded load
+generator."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid2d_matrix
+from repro.service import (
+    AdmissionRejected,
+    FactorService,
+    JobFailed,
+    JobQueue,
+    LoadgenConfig,
+    PatternCache,
+    PatternEntry,
+    ServiceClient,
+    ServiceClosed,
+    ServiceServer,
+    UnknownPatternError,
+    pattern_digest,
+    run_loadgen,
+)
+from repro.solver import SparseCholesky
+
+SVC_KW = dict(nprocs=2, ordering="nd", block_size=8, batch_timeout_s=120)
+
+
+@pytest.fixture(scope="module")
+def grid_A():
+    return grid2d_matrix(10).A.tocsc()
+
+
+@pytest.fixture(scope="module")
+def grid_A2(grid_A):
+    A2 = grid_A.copy()
+    A2.setdiag(A2.diagonal() + 1.25)
+    return A2
+
+
+def _cold_L(A, block_size=8):
+    return SparseCholesky(A, ordering="nd", block_size=block_size).factor().L
+
+
+def _bitwise(L, ref):
+    return (
+        np.array_equal(L.indptr, ref.indptr)
+        and np.array_equal(L.indices, ref.indices)
+        and np.array_equal(L.data, ref.data)
+    )
+
+
+class TestFactorService:
+    def test_cold_then_warm_bitwise(self, grid_A, grid_A2):
+        """Miss, then hit on the same pattern; both factors bitwise equal
+        a cold sequential factor of the same values."""
+        with FactorService(**SVC_KW) as svc:
+            r1 = svc.factor(grid_A)
+            r2 = svc.factor(grid_A2)
+            assert (r1.cache, r2.cache) == ("miss", "hit")
+            assert r1.pattern_id == r2.pattern_id
+            assert _bitwise(r1.L, _cold_L(grid_A))
+            assert _bitwise(r2.L, _cold_L(grid_A2))
+            # warm jobs skip symbolic analysis entirely
+            assert r1.record.setup_s > 0.0
+            assert r2.record.setup_s == 0.0
+
+    def test_values_only_warm_path(self, grid_A, grid_A2):
+        """(pattern_id, values) resubmission — no hashing, no full
+        matrix — still bitwise identical to the cold factor."""
+        with FactorService(**SVC_KW) as svc:
+            r1 = svc.factor(grid_A)
+            r2 = svc.factor(pattern_id=r1.pattern_id, values=grid_A2.data)
+            assert r2.cache == "hit"
+            assert _bitwise(r2.L, _cold_L(grid_A2))
+            x = r2.solve(np.ones(grid_A2.shape[0]))
+            res = np.linalg.norm(grid_A2 @ x - 1.0)
+            assert res < 1e-8
+
+    def test_validate_mode(self, grid_A, grid_A2):
+        with FactorService(validate=True, **SVC_KW) as svc:
+            r = svc.factor(grid_A)
+            assert r.cache == "miss"
+            r2 = svc.factor(pattern_id=r.pattern_id, values=grid_A2.data)
+            assert r2.cache == "hit"
+
+    def test_unknown_pattern_is_typed(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            svc.factor(grid_A)
+            with pytest.raises(UnknownPatternError):
+                svc.factor(pattern_id="deadbeefdeadbeef",
+                           values=grid_A.data)
+            # the failed lookup must not count as a buildable miss
+            assert svc.cache.stats()["misses"] == 1
+
+    def test_wrong_values_length_is_typed(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            r = svc.factor(grid_A)
+            with pytest.raises(JobFailed):
+                svc.factor(pattern_id=r.pattern_id,
+                           values=grid_A.data[:-3])
+
+    def test_job_metrics_carry_service_context(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            r = svc.factor(grid_A)
+            extra = r.metrics.extra["service"]
+            assert extra["job_id"] == r.job_id
+            assert extra["cache"] == "miss"
+            assert extra["batch_size"] >= 1
+            d = r.metrics.to_dict()
+            assert d["extra"]["service"]["job_id"] == r.job_id
+
+    def test_batched_submissions_one_round(self, grid_A, grid_A2):
+        """Handles submitted together complete in one pool batch."""
+        with FactorService(batch_wait_s=0.05, **SVC_KW) as svc:
+            svc.factor(grid_A)  # warm the pattern first
+            handles = [
+                svc.submit(pattern_id=None, A=M)
+                for M in (grid_A, grid_A2, grid_A)
+            ]
+            results = [h.result(120) for h in handles]
+            assert all(r.cache == "hit" for r in results)
+            assert max(r.record.batch_size for r in results) >= 2
+            assert _bitwise(results[1].L, _cold_L(grid_A2))
+
+    def test_stats_shape(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            svc.factor(grid_A)
+            s = svc.stats()
+            assert s["queue"]["admitted"] == 1
+            assert s["pattern_cache"]["entries"] == 1
+            assert s["service"]["jobs"]["completed"] == 1
+
+    def test_closed_service_is_typed(self, grid_A):
+        svc = FactorService(**SVC_KW)
+        svc.start()
+        svc.factor(grid_A)
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(ServiceClosed):
+            svc.submit(grid_A)
+
+    def test_eviction_destroys_arena(self, grid_A):
+        """LRU eviction releases the pattern's arena after the batch."""
+        destroyed = []
+
+        class _Arena:
+            """Delegating sentinel: records the destroy, then releases
+            the real arena (None on the inline transport)."""
+
+            def __init__(self, real):
+                self.real = real
+                self.name = "fake" if real is None else real.name
+
+            def destroy(self):
+                destroyed.append("destroyed")
+                if self.real is not None:
+                    self.real.destroy()
+
+        with FactorService(cache_capacity=2, **SVC_KW) as svc:
+            pats = [grid2d_matrix(k).A.tocsc() for k in (6, 7, 8)]
+            svc.factor(pats[0])
+            first = next(iter(svc.cache._entries.values()))
+            first.arena = _Arena(first.arena)
+            svc.factor(pats[1])
+            svc.factor(pats[2])  # capacity 2: evicts the first pattern
+            assert svc.cache.stats()["evictions"] == 1
+            assert destroyed == ["destroyed"]
+            # the evicted pattern rebuilds transparently
+            r = svc.factor(pats[0])
+            assert r.cache == "miss"
+            assert _bitwise(r.L, _cold_L(pats[0]))
+
+
+class TestPatternCacheUnit:
+    def _entry(self, pid, arena=None):
+        return PatternEntry(
+            pattern_id=pid, symbolic=None, structure=None, tg=None,
+            owners=None, mapping_name="t", perm=None, arena=arena,
+        )
+
+    def test_digest_covers_pattern_and_knobs(self, grid_A, grid_A2):
+        knobs = ("nd", 8, 2, "DW/CY", False, "inline")
+        # same pattern, different values -> same digest
+        assert pattern_digest(grid_A, knobs) == pattern_digest(
+            grid_A2, knobs
+        )
+        other = grid2d_matrix(11).A.tocsc()
+        assert pattern_digest(grid_A, knobs) != pattern_digest(
+            other, knobs
+        )
+        assert pattern_digest(grid_A, knobs) != pattern_digest(
+            grid_A, ("nd", 16, 2, "DW/CY", False, "inline")
+        )
+
+    def test_lru_order_and_counters(self):
+        cache = PatternCache(2)
+        cache.put(self._entry("a"))
+        cache.put(self._entry("b"))
+        assert cache.lookup("a") is not None  # refreshes a
+        evicted = cache.put(self._entry("c"))  # b is now LRU
+        assert [e.pattern_id for e in evicted] == ["b"]
+        assert cache.lookup("b") is None
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 1)
+
+    def test_protect_survives_insertion(self):
+        cache = PatternCache(2)
+        cache.put(self._entry("a"))
+        cache.put(self._entry("b"))
+        evicted = cache.put(self._entry("c"), protect={"a", "b"})
+        # nothing evictable: every resident pattern is protected
+        assert evicted == []
+        assert len(cache) == 3
+        assert cache.peek("a") is not None and cache.peek("b") is not None
+
+
+class TestAdmission:
+    """The admission controller never hangs: every full-queue outcome is
+    a typed exception, and a seeded load trace drains deterministically."""
+
+    def test_reject_policy_is_immediate_and_typed(self):
+        q = JobQueue(capacity=2, policy="reject")
+        q.put("a")
+        q.put("b")
+        with pytest.raises(AdmissionRejected) as exc:
+            q.put("c")
+        assert exc.value.reason == "queue_full"
+        assert q.stats.rejected == 1
+        assert len(q) == 2
+
+    def test_block_policy_times_out_typed(self):
+        q = JobQueue(capacity=1, policy="block")
+        q.put("a")
+        with pytest.raises(AdmissionRejected) as exc:
+            q.put("b", timeout=0.05)
+        assert exc.value.reason == "backpressure_timeout"
+        assert q.stats.timed_out == 1
+
+    def test_block_policy_backpressure_releases(self):
+        q = JobQueue(capacity=1, policy="block")
+        q.put("a")
+        admitted = threading.Event()
+
+        def submitter():
+            q.put("b", timeout=10.0)
+            admitted.set()
+
+        t = threading.Thread(target=submitter, daemon=True)
+        t.start()
+        assert not admitted.wait(0.05)  # genuinely blocked
+        assert q.get_batch(1) == ["a"]  # free a slot
+        assert admitted.wait(5.0)
+        assert q.get_batch(1) == ["b"]
+        t.join()
+
+    def test_shed_policy_drops_oldest(self):
+        q = JobQueue(capacity=2, policy="shed")
+        q.put("a")
+        q.put("b")
+        assert q.put("c") == "a"
+        assert q.stats.shed == 1
+        assert q.get_batch(4) == ["b", "c"]
+
+    def test_closed_queue_is_typed(self):
+        q = JobQueue(capacity=2, policy="block")
+        q.close()
+        with pytest.raises(ServiceClosed):
+            q.put("a")
+
+    def test_get_batch_window(self):
+        q = JobQueue(capacity=8, policy="block")
+        for item in "abc":
+            q.put(item)
+        assert q.get_batch(2, batch_wait_s=0) == ["a", "b"]
+        assert q.get_batch(2, batch_wait_s=0) == ["c"]
+
+    @pytest.mark.parametrize("policy", ["reject", "block", "shed"])
+    def test_seeded_trace_drains_deterministically(self, policy):
+        """Same seeded arrival trace, same capacity, same policy →
+        identical admit/reject/shed decisions and final counters, with a
+        consumer draining concurrently in fixed-size gulps."""
+
+        def run_once():
+            rng = np.random.default_rng(7)
+            q = JobQueue(capacity=4, policy=policy)
+            decisions = []
+            # deterministic interleave: after every 3 arrivals the
+            # consumer takes one batch of up to 2
+            for i in range(30):
+                try:
+                    shed = q.put(i, timeout=0)
+                    decisions.append(("admit", i, shed))
+                except AdmissionRejected as exc:
+                    decisions.append(("reject", i, exc.reason))
+                if rng.random() < 0.4 and len(q):
+                    for item in q.get_batch(2, batch_wait_s=0):
+                        decisions.append(("served", item, None))
+            decisions.append(("drained", tuple(q.drain()), None))
+            return decisions, q.stats.to_dict()
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        stats = first[1]
+        assert stats["submitted"] == 30
+        assert stats["admitted"] == stats["submitted"] - stats["rejected"]
+
+    def test_service_backpressure_drains(self, grid_A):
+        """Tiny queue + block policy: every submission eventually admits
+        and completes — backpressure, not loss."""
+        with FactorService(queue_capacity=2, admission="block",
+                           max_batch=2, **SVC_KW) as svc:
+            svc.factor(grid_A)  # warm the pattern
+            handles = []
+            for i in range(6):
+                A = grid_A.copy()
+                A.setdiag(A.diagonal() + 0.1 * (i + 1))
+                handles.append(svc.submit(A, timeout=60))
+            results = [h.result(120) for h in handles]
+            assert all(r.cache == "hit" for r in results)
+            assert svc.queue.stats.rejected == 0
+            assert svc.queue.stats.admitted == 7
+
+    def test_service_reject_policy_is_typed_not_a_hang(self, grid_A):
+        """A full service queue under ``reject`` raises immediately."""
+        svc = FactorService(queue_capacity=2, admission="reject",
+                            **SVC_KW)
+        # fill the queue before the dispatcher exists: the typed
+        # rejection must come from admission, not from a timeout
+        rejected = 0
+        for i in range(4):
+            A = grid_A.copy()
+            A.setdiag(A.diagonal() + 0.5 * (i + 1))
+            try:
+                svc.queue.put(object())  # placeholder load
+            except AdmissionRejected as exc:
+                rejected += 1
+                assert exc.reason == "queue_full"
+        assert rejected == 2
+        svc.queue.drain()
+        svc.close()
+
+
+class TestClientServer:
+    def test_tcp_round_trip(self, grid_A, grid_A2):
+        """Cold + warm values-only over the socket, typed remote errors,
+        stats, clean shutdown."""
+        with FactorService(**SVC_KW) as svc:
+            server = ServiceServer(svc, port=0)
+            server.start_background()
+            try:
+                with ServiceClient(address=server.address) as client:
+                    assert client.ping()
+                    r1 = client.factor(grid_A)
+                    assert r1.cache == "miss"
+                    r2 = client.factor(
+                        pattern_id=r1.pattern_id, values=grid_A2.data
+                    )
+                    assert r2.cache == "hit"
+                    assert _bitwise(r2.L, _cold_L(grid_A2))
+                    x = r2.solve(np.ones(grid_A2.shape[0]))
+                    assert np.linalg.norm(grid_A2 @ x - 1.0) < 1e-8
+                    with pytest.raises(UnknownPatternError):
+                        client.factor(pattern_id="ffffffffffffffff",
+                                      values=grid_A.data)
+                    stats = client.stats()
+                    assert stats["pattern_cache"]["hits"] >= 1
+                    client.shutdown_server()
+                    assert server.shutdown_requested
+            finally:
+                server.close()
+
+    def test_in_process_client_same_api(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            with ServiceClient(service=svc) as client:
+                r = client.factor(grid_A)
+                assert r.cache == "miss"
+                assert _bitwise(r.L, _cold_L(grid_A))
+
+    def test_client_needs_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            ServiceClient()
+        with pytest.raises(ValueError):
+            ServiceClient(service=object(), address=("h", 1))
+
+
+class TestSolverServiceBackend:
+    def test_facade_routes_through_service(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            chol = SparseCholesky(
+                grid_A, backend="service", service=svc
+            ).factor()
+            assert chol.service_pattern_id
+            assert _bitwise(chol.L, _cold_L(grid_A, block_size=8))
+            x = chol.solve(np.ones(grid_A.shape[0]))
+            assert np.linalg.norm(grid_A @ x - 1.0) < 1e-8
+            # second facade on the same pattern hits the cache
+            chol2 = SparseCholesky(
+                grid_A, backend="service", service=svc
+            ).factor()
+            assert chol2.service_record.cache == "hit"
+
+    def test_service_backend_requires_service(self, grid_A):
+        with pytest.raises(ValueError):
+            SparseCholesky(grid_A, backend="service")
+
+    def test_plan_cache_counters_in_metrics(self, grid_A):
+        """Satellite: plan_cache_hits/misses are observable in
+        ``runtime_metrics.extra["plan_cache"]`` after an mp run."""
+        chol = SparseCholesky(
+            grid_A, ordering="nd", block_size=8, backend="mp", nprocs=2
+        )
+        chol.factor()
+        pc = chol.runtime_metrics.extra["plan_cache"]
+        assert pc == {"hits": 0, "misses": 1}
+        chol.factor()
+        pc = chol.runtime_metrics.extra["plan_cache"]
+        assert pc == {"hits": 1, "misses": 1}
+        assert pc == chol.runtime_metrics.to_dict()["extra"]["plan_cache"]
+
+
+class TestLoadgen:
+    def test_seeded_run_hits_cache_and_validates(self):
+        """The acceptance sweep in miniature: ≥50% repeat traffic over a
+        validating service shows warm jobs (cache hits) and zero
+        failures; the schedule itself is deterministic in the seed."""
+        from repro.service.loadgen import build_schedule
+
+        cfg = LoadgenConfig(
+            jobs=8, patterns=2, repeat_ratio=0.6, mode="closed",
+            concurrency=1, seed=3, n=6, timeout=120.0,
+        )
+        schedule = build_schedule(cfg)
+        assert [s.pattern for s in schedule] == [
+            s.pattern for s in build_schedule(cfg)
+        ]
+        distinct = len({s.pattern for s in schedule})
+        with FactorService(validate=True, **SVC_KW) as svc:
+            report = run_loadgen(lambda: ServiceClient(service=svc), cfg)
+        d = report.to_dict()
+        assert d["jobs"]["failed"] == 0
+        assert d["jobs"]["ok"] == 8
+        assert d["cache"]["hit"] > 0
+        assert d["cache"]["hit"] + d["cache"]["miss"] == 8
+        assert d["cache"]["miss"] == distinct  # one cold job per pattern
+        # warm jobs skip symbolic analysis + planning + spawn
+        assert d["setup_s"]["warm"]["max"] <= d["setup_s"]["cold"]["p50"]
