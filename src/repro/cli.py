@@ -25,7 +25,14 @@ Commands
 ``loadgen``
     Drive a service — remote (``--connect``) or spun up in-process — with
     a seeded closed- or open-loop job mix at a configurable
-    pattern-repeat ratio, and report cache hits and latency percentiles.
+    pattern-repeat ratio, and report cache hits, latency percentiles, and
+    retry/recovery counts (``--fault-plan`` / ``--kill-worker-at`` inject
+    faults mid-run).
+``chaos-service``
+    Seeded fault matrix over the *service* layer: worker kills (hard and
+    soft), per-job deadlines, and the circuit breaker — asserting every
+    job completes bitwise-identically to the fault-free run or raises a
+    typed error within its deadline, with no leaked shm segments.
 ``experiment <name>``
     Run one paper experiment (table1..table7, figure1, prime_grids, ...).
 ``suite``
@@ -308,10 +315,11 @@ def cmd_chaos(args) -> int:
     return 0 if failures == 0 else 1
 
 
-def _service_from_args(args):
+def _service_from_args(args, **extra):
+    from repro.runtime.faults import parse_fault_plan
     from repro.service import FactorService
 
-    return FactorService(
+    kwargs = dict(
         nprocs=args.nprocs,
         ordering=args.ordering,
         block_size=args.block_size,
@@ -323,7 +331,22 @@ def _service_from_args(args):
         batch_wait_s=args.batch_wait / 1e3,
         cache_capacity=args.cache_capacity,
         validate=args.validate,
+        default_deadline_s=args.deadline,
+        max_job_attempts=args.max_job_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
+    plan_spec = getattr(args, "fault_plan", None)
+    if plan_spec:
+        kwargs["fault_plan"] = parse_fault_plan(
+            plan_spec, seed=getattr(args, "seed", 0)
+        )
+        kwargs["fault_jobs"] = tuple(
+            int(i) for i in getattr(args, "fault_jobs", "0").split(",")
+            if i.strip()
+        )
+    kwargs.update(extra)
+    return FactorService(**kwargs)
 
 
 def _add_service_knobs(p: argparse.ArgumentParser) -> None:
@@ -349,6 +372,19 @@ def _add_service_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--validate", action="store_true",
                    help="bitwise-check every factor against the "
                         "sequential baseline")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="default per-job deadline in seconds "
+                        "(None = unbounded)")
+    p.add_argument("--max-job-attempts", type=int, default=2,
+                   help="parallel attempts per job before the "
+                        "sequential fallback")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive pool failures that trip the "
+                        "circuit breaker (0 disables)")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   metavar="S",
+                   help="seconds the breaker stays open before the "
+                        "half-open probe")
 
 
 def cmd_serve(args) -> int:
@@ -377,6 +413,7 @@ def cmd_loadgen(args) -> int:
 
     from repro.service import ServiceClient
     from repro.service.loadgen import LoadgenConfig, run_loadgen
+    from repro.service.resilience import RetryPolicy
 
     cfg = LoadgenConfig(
         jobs=args.jobs,
@@ -390,14 +427,28 @@ def cmd_loadgen(args) -> int:
         n=args.n,
         values_only=not args.full_matrix,
         timeout=args.timeout,
+        deadline_s=args.deadline,
+        retries=args.retries,
+        kill_worker_at=args.kill_worker_at,
+        kill_rank=args.kill_rank,
+    )
+    retry = (
+        RetryPolicy(retries=args.retries, seed=args.seed)
+        if args.retries > 0 else None
     )
     service = None
     if args.connect:
+        if args.kill_worker_at >= 0:
+            print("--kill-worker-at needs an in-process service "
+                  "(drop --connect)", file=sys.stderr)
+            return 2
         host, _, port = args.connect.rpartition(":")
         address = (host or "127.0.0.1", int(port))
 
         def client_factory():
-            return ServiceClient(address=address, timeout=args.timeout)
+            return ServiceClient(
+                address=address, timeout=args.timeout, retry=retry
+            )
     else:
         service = _service_from_args(args).start()
 
@@ -405,7 +456,7 @@ def cmd_loadgen(args) -> int:
             return ServiceClient(service=service, timeout=args.timeout)
 
     try:
-        report = run_loadgen(client_factory, cfg)
+        report = run_loadgen(client_factory, cfg, service=service)
     finally:
         if service is not None:
             service.close()
@@ -420,6 +471,244 @@ def cmd_loadgen(args) -> int:
         print("server shutdown requested")
     d = report.to_dict()
     return 0 if d["jobs"]["failed"] == 0 else 1
+
+
+#: Scenario matrix run by ``repro chaos-service --scenarios all``.
+_SERVICE_CHAOS = (
+    "none", "worker-kill", "worker-crash", "deadline", "breaker",
+)
+
+#: Wall-clock slack allowed past a job's deadline before the run counts
+#: as a client hang (scheduler jitter, queue polling).
+_DEADLINE_SLACK_S = 5.0
+
+
+def cmd_chaos_service(args) -> int:
+    """Seeded fault matrix over the *service* layer.
+
+    Every scenario drives the same deterministic job stream through a
+    fresh :class:`~repro.service.FactorService` and asserts the
+    acceptance bar for self-healing: every submitted job completes
+    (recovered or sequential-fallback, tagged in its record) or raises a
+    typed error within its deadline, completed factors are
+    bitwise-identical to the fault-free run, no shm segments leak, and
+    no client ever hangs.
+    """
+    import glob
+    import json
+    import time as time_mod
+
+    from repro.matrices import grid2d_matrix
+    from repro.runtime.faults import FaultPlan
+    from repro.service import FactorService
+    from repro.service.jobs import DeadlineExceeded, ServiceError
+    from repro.service.loadgen import fresh_values
+
+    names = (
+        list(_SERVICE_CHAOS) if args.scenarios == "all"
+        else [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    )
+    # The fault-free run is always first: it produces the reference
+    # factors every other scenario is compared against bitwise.
+    if "none" in names:
+        names.remove("none")
+    names.insert(0, "none")
+
+    rng = np.random.default_rng(args.seed)
+    base = [
+        grid2d_matrix(args.n + i).A.tocsc() for i in range(args.patterns)
+    ]
+    stream = [
+        (i % args.patterns, float(rng.uniform(0.1, 2.0)))
+        for i in range(args.jobs)
+    ]
+    matrices = [fresh_values(base[p], shift) for p, shift in stream]
+    fault_at = args.fault_at if args.fault_at >= 0 else args.jobs // 2
+    crash_rank = min(1, args.nprocs - 1)
+    shm_before = set(glob.glob("/dev/shm/psm_*"))
+    reference: dict[int, tuple] = {}
+    payload: dict[str, dict] = {}
+    failures = 0
+    print(f"service chaos matrix: jobs={args.jobs} "
+          f"patterns={args.patterns} P={args.nprocs} "
+          f"transport={args.transport} seed={args.seed} "
+          f"fault_at={fault_at}")
+    for name in names:
+        svc_kw = dict(
+            nprocs=args.nprocs,
+            ordering="nd",
+            block_size=args.block_size,
+            transport=args.transport,
+            max_batch=args.max_batch,
+            stall_timeout_s=args.stall_timeout,
+            batch_timeout_s=args.timeout,
+        )
+        deadlines: dict[int, float] = {}
+        if name == "worker-kill":
+            # Hard crash: os._exit mid-job, the SIGKILL/segfault
+            # stand-in — the pool must heal on P - f workers.
+            svc_kw["fault_plan"] = FaultPlan.scenario(
+                "crash-hard", seed=args.seed, rank=crash_rank,
+                after_tasks=1,
+            )
+            svc_kw["fault_jobs"] = (fault_at,)
+        elif name == "worker-crash":
+            # Soft crash: the worker errors and ABORTs its job; the
+            # pool survives, the job is retried without the plan.
+            svc_kw["fault_plan"] = FaultPlan.scenario(
+                "crash", seed=args.seed, rank=crash_rank, after_tasks=1,
+            )
+            svc_kw["fault_jobs"] = (fault_at,)
+        elif name == "deadline":
+            # Every odd job gets an unmeetable budget: it must raise
+            # the typed DeadlineExceeded by its deadline; even jobs
+            # must complete untouched in the same batches.
+            deadlines = {i: 5e-4 for i in range(1, args.jobs, 2)}
+        elif name == "breaker":
+            # First job kills the pool; threshold 1 trips the breaker,
+            # the rest of the stream runs degraded-sequential; after
+            # the cooldown a probe job half-opens and closes it again.
+            svc_kw["fault_plan"] = FaultPlan.scenario(
+                "crash-hard", seed=args.seed, rank=crash_rank,
+                after_tasks=1,
+            )
+            svc_kw["fault_jobs"] = (0,)
+            svc_kw["breaker_threshold"] = 1
+            svc_kw["breaker_cooldown_s"] = 1.0
+        elif name != "none":
+            print(f"unknown scenario {name!r}; known: "
+                  f"{', '.join(_SERVICE_CHAOS)}", file=sys.stderr)
+            return 2
+        problems: list[str] = []
+        results: dict[int, object] = {}
+        typed_errors: dict[int, ServiceError] = {}
+        probe_ok = breaker_state = None
+        with FactorService(**svc_kw) as svc:
+            handles = [
+                svc.submit(matrices[i], deadline_s=deadlines.get(i))
+                for i in range(args.jobs)
+            ]
+            for i, h in enumerate(handles):
+                t0 = time_mod.monotonic()
+                try:
+                    results[i] = h.result(timeout=args.timeout)
+                except ServiceError as exc:
+                    typed_errors[i] = exc
+                    elapsed = time_mod.monotonic() - t0
+                    dl = deadlines.get(i)
+                    if (
+                        isinstance(exc, DeadlineExceeded)
+                        and dl is not None
+                        and elapsed > dl + _DEADLINE_SLACK_S
+                    ):
+                        problems.append(
+                            f"job {i} deadline error took {elapsed:.1f}s"
+                        )
+                except TimeoutError:
+                    problems.append(f"job {i} HUNG past {args.timeout}s")
+            if name == "breaker":
+                time_mod.sleep(svc_kw["breaker_cooldown_s"] + 0.2)
+                try:
+                    probe = svc.factor(matrices[0], timeout=args.timeout)
+                    probe_ok = True
+                    ref = reference.get(0)
+                    if ref is not None and not _same_factor(probe.L, ref):
+                        problems.append("post-recovery probe not bitwise")
+                except ServiceError as exc:
+                    probe_ok = False
+                    problems.append(f"post-cooldown probe failed: {exc}")
+                breaker_state = svc.breaker.state
+            stats = svc.stats()
+        # -- invariants every scenario must hold -----------------------
+        expected_errors = set(deadlines)
+        if set(typed_errors) != expected_errors:
+            problems.append(
+                f"typed errors on jobs {sorted(typed_errors)} "
+                f"(expected {sorted(expected_errors)})"
+            )
+        for i in expected_errors & set(typed_errors):
+            if not isinstance(typed_errors[i], DeadlineExceeded):
+                problems.append(
+                    f"job {i} raised {type(typed_errors[i]).__name__}, "
+                    "not DeadlineExceeded"
+                )
+        for i, res in results.items():
+            key = (res.L.indptr, res.L.indices, res.L.data)
+            if name == "none":
+                reference[i] = key
+            elif i in reference and not _same_factor(res.L, reference[i]):
+                problems.append(f"job {i} factor differs bitwise")
+        outcomes = sorted(
+            {res.record.outcome for res in results.values()}
+        )
+        resil = stats["service"]["resilience"]
+        if name == "none":
+            if outcomes != ["clean"]:
+                problems.append(f"fault-free outcomes {outcomes}")
+            if resil["pool_restarts"]:
+                problems.append("fault-free run restarted the pool")
+        elif name == "worker-kill":
+            if resil["pool_restarts"] < 1:
+                problems.append("worker kill never healed the pool")
+            if not (resil["recovered"] or resil["degraded"]):
+                problems.append("no job tagged recovered/degraded")
+            if stats["pool_generation"] < 2:
+                problems.append("pool generation never advanced")
+        elif name == "worker-crash":
+            if not (resil["recovered"] or resil["degraded"]):
+                problems.append("no job tagged recovered/degraded")
+        elif name == "breaker":
+            if stats["breaker"]["trips"] < 1:
+                problems.append("breaker never tripped")
+            if not resil["degraded"]:
+                problems.append("no degraded-sequential jobs")
+            if breaker_state != "closed":
+                problems.append(
+                    f"breaker {breaker_state!r} after cooldown probe"
+                )
+        shm_now = set(glob.glob("/dev/shm/psm_*"))
+        leaked = shm_now - shm_before
+        if leaked:
+            problems.append(f"leaked shm segments: {sorted(leaked)}")
+        ok = not problems
+        failures += 0 if ok else 1
+        status = "ok" if ok else "FAIL"
+        print(f"  [{status}] scenario={name:<13s} "
+              f"ok={len(results)} typed_errors={len(typed_errors)} "
+              f"outcomes={','.join(outcomes) or '-'} "
+              f"restarts={resil['pool_restarts']} "
+              f"recovered={resil['recovered']} "
+              f"degraded={resil['degraded']}")
+        for problem in problems:
+            print(f"        - {problem}")
+        payload[name] = {
+            "ok": ok,
+            "problems": problems,
+            "completed": len(results),
+            "typed_errors": {
+                str(i): type(e).__name__ for i, e in typed_errors.items()
+            },
+            "outcomes": outcomes,
+            "resilience": resil,
+            "breaker": stats["breaker"],
+            "probe_ok": probe_ok,
+        }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"chaos-service report written to {args.json}")
+    print(f"chaos-service: {len(payload) - failures}/{len(payload)} "
+          f"scenarios {'ok' if failures == 0 else 'ok, ' + str(failures) + ' FAILED'}")
+    return 0 if failures == 0 else 1
+
+
+def _same_factor(L, ref: tuple) -> bool:
+    """Bitwise factor comparison against a (indptr, indices, data) key."""
+    return (
+        np.array_equal(L.indptr, ref[0])
+        and np.array_equal(L.indices, ref[1])
+        and np.array_equal(L.data, ref[2])
+    )
 
 
 def cmd_analyze(args) -> int:
@@ -651,12 +940,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="always submit full matrices (never the "
                         "pattern-handle + values warm path)")
     p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="client-side backoff retries of transient typed "
+                        "errors (socket mode)")
+    p.add_argument("--fault-plan", default=None, metavar="SPEC",
+                   help="inject a fault plan into pool jobs, e.g. "
+                        "'crash-hard:rank=1,after_tasks=1' or '@plan.json' "
+                        "(in-process service only)")
+    p.add_argument("--fault-jobs", default="0", metavar="IDX[,IDX...]",
+                   help="dispatch indices the --fault-plan attaches to")
+    p.add_argument("--kill-worker-at", type=int, default=-1, metavar="N",
+                   help="SIGKILL a pool worker once N jobs have been "
+                        "submitted (in-process service only)")
+    p.add_argument("--kill-rank", type=int, default=0,
+                   help="which pool rank --kill-worker-at kills")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the loadgen report JSON to PATH")
     p.add_argument("--shutdown-server", action="store_true",
                    help="send a shutdown to the --connect server when done")
     _add_service_knobs(p)
     p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser(
+        "chaos-service",
+        help="seeded fault matrix over the factorization service: worker "
+             "kills, deadlines, circuit breaker — bitwise-checked recovery",
+    )
+    p.add_argument("--jobs", type=int, default=10,
+                   help="jobs per scenario (same stream every scenario)")
+    p.add_argument("--patterns", type=int, default=2,
+                   help="distinct sparsity patterns in the stream")
+    p.add_argument("--n", type=int, default=10,
+                   help="base grid side (pattern i uses n + i)")
+    p.add_argument("-p", "--nprocs", type=int, default=2,
+                   help="pool workers per service")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "shm", "inline"),
+                   help="block payload transport")
+    p.add_argument("--scenarios", default="all",
+                   help=f"comma-separated scenarios or 'all' "
+                        f"({','.join(_SERVICE_CHAOS)}); 'none' always "
+                        f"runs first as the bitwise reference")
+    p.add_argument("--seed", type=int, default=0,
+                   help="job-stream + fault-plan seed")
+    p.add_argument("--fault-at", type=int, default=-1, metavar="IDX",
+                   help="dispatch index the injected crash rides on "
+                        "(default: jobs // 2)")
+    p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="per-scenario batch + result-wait bound in seconds")
+    p.add_argument("--stall-timeout", type=float, default=10.0, metavar="S",
+                   help="per-worker no-progress watchdog in seconds")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the structured report to PATH")
+    p.set_defaults(fn=cmd_chaos_service)
 
     p = sub.add_parser("analyze", help="structure/memory/critical-path report")
     p.add_argument("problem")

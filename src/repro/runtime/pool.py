@@ -34,10 +34,17 @@ Failure containment: a worker error poisons only its own job — the
 erroring worker broadcasts ABORT for that job's tag, peers abort that job
 and move on to the next one in the batch, and the driver reports the job
 failed while the rest of the batch completes. Dead processes and global
-timeouts tear the pool down (:meth:`WorkerPool.restart` brings up a fresh
-one; pattern contexts are re-shipped lazily because ``seen_patterns`` is
-cleared). The pool never runs the fault-injection/recovery protocol —
-that remains the one-shot engine's job.
+timeouts tear the pool down and bring up a fresh crew — on ``P - f``
+workers when ``f`` processes died (:meth:`WorkerPool.heal`); pattern
+contexts are re-shipped lazily because ``seen_patterns`` is cleared, and
+the caller re-plans owners for the shrunken crew. Per-job deadlines are
+enforced driver-side: an expired job gets a seq-tagged ABORT injected
+into every inbox, so exactly that job aborts while its batch keeps
+running. Workers heartbeat on the result queue before every job, so the
+driver can tell a stalled crew from a slow one. The pool never runs the
+checkpoint/recovery protocol — that remains the one-shot engine's job —
+but it does thread :class:`~repro.runtime.faults.FaultPlan` injection
+into individual jobs so the service layer above is chaos-testable.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from repro.runtime.links import Link, LinkFabric
 from repro.runtime.worker import Worker, WorkerResult
 
 __all__ = [
+    "HEARTBEAT_SEQ",
     "PatternContext",
     "PoolJob",
     "JobOutcome",
@@ -72,6 +80,10 @@ class PoolError(RuntimeError):
 
 class PoolTimeoutError(PoolError):
     """A batch exceeded its global deadline."""
+
+
+#: Result-queue tag used by worker heartbeats (never a valid job seq).
+HEARTBEAT_SEQ = -1
 
 
 # ----------------------------------------------------------------------
@@ -108,7 +120,11 @@ class PoolJob:
     the pattern yet. ``wait_for`` is the seq of the latest earlier job
     sharing this job's arena (barrier); ``announce`` makes every rank
     broadcast a DONE control frame tagged with this job when it finishes,
-    so later same-arena jobs can wait on it.
+    so later same-arena jobs can wait on it. ``deadline`` is an absolute
+    ``time.monotonic()`` instant past which the driver aborts the job
+    (``time.monotonic`` is system-wide on Linux, so workers and driver
+    agree on it). ``fault_plan`` injects deterministic faults into this
+    job's workers — chaos testing for the layers above the pool.
     """
 
     seq: int
@@ -118,6 +134,8 @@ class PoolJob:
     wait_for: int | None = None
     announce: bool = False
     trace_capacity: int = 0
+    deadline: float | None = None
+    fault_plan: object | None = None
 
 
 @dataclass
@@ -128,6 +146,7 @@ class JobOutcome:
     results: dict = field(default_factory=dict)  # rank -> WorkerResult
     error: str | None = None
     aborted: bool = False
+    expired: bool = False
     wall_s: float = 0.0
 
     @property
@@ -312,6 +331,11 @@ class _PoolWorker:
 
     # -- one job -------------------------------------------------------
     def _run_job(self, job: PoolJob, epoch: float) -> None:
+        # Heartbeat: tells the driver this rank is alive and which job it
+        # is about to run; rides the result queue under a reserved tag.
+        self.result_queue.put(
+            (HEARTBEAT_SEQ, (self.rank, job.seq, time.monotonic()))
+        )
         entry = self.patterns.get(job.pattern_id)
         if job.context is not None:
             entry = self._install(job.context)
@@ -353,6 +377,7 @@ class _PoolWorker:
             transport="shm" if arena is not None else "inline",
             arena=arena,
             inline_gather=True,
+            fault_plan=job.fault_plan,
         )
         worker.run()
         # DONE announcements consumed mid-job by the Worker count toward
@@ -454,6 +479,13 @@ class WorkerPool:
         self.record_timeline = record_timeline
         self.seen_patterns: set[str] = set()
         self.generation = 0
+        #: Why the last :meth:`run_batch` broke the pool (None when it
+        #: ran clean). Callers use this to distinguish per-job failures
+        #: from pool-level breakage that warrants retrying jobs.
+        self.last_error: str | None = None
+        #: rank -> last heartbeat instant (``time.monotonic``), updated
+        #: as batches run; survives restarts for post-mortem inspection.
+        self.last_heartbeats: dict[int, float] = {}
         self._procs: list = []
         self._commands: list = []
         self._results = None
@@ -467,6 +499,12 @@ class WorkerPool:
     @property
     def alive(self) -> bool:
         return bool(self._procs) and all(p.is_alive() for p in self._procs)
+
+    def dead_ranks(self) -> list[int]:
+        """Ranks whose process is no longer alive (empty when healthy)."""
+        return [
+            rank for rank, p in enumerate(self._procs) if not p.is_alive()
+        ]
 
     def start(self) -> "WorkerPool":
         if self.running:
@@ -525,6 +563,19 @@ class WorkerPool:
         self.close()
         return self.start()
 
+    def heal(self) -> "WorkerPool":
+        """Restart on ``P - f`` workers, where ``f`` is the number of
+        dead processes (floor 1). Mutates :attr:`nprocs`: callers must
+        re-plan owners for any pattern planned for the old crew size
+        (contexts are re-shipped anyway because ``seen_patterns`` is
+        cleared). With no dead processes this is a plain restart — the
+        cure for a stalled-but-alive crew."""
+        dead = len(self.dead_ranks())
+        self.close()
+        if dead:
+            self.nprocs = max(1, self.nprocs - dead)
+        return self.start()
+
     def __enter__(self) -> "WorkerPool":
         return self.start()
 
@@ -545,6 +596,20 @@ class WorkerPool:
         self.seen_patterns.difference_update(pattern_ids)
 
     # -- dispatch ------------------------------------------------------
+    def abort_job(self, seq: int) -> None:
+        """Inject a seq-tagged ABORT into every worker inbox.
+
+        The ABORT's src is ``self.nprocs`` — outside the rank range — so
+        it can never masquerade as a real peer in a DONE barrier. Workers
+        abort exactly job ``seq`` (whether mid-run or not yet started)
+        and report an aborted result; the rest of the batch is untouched.
+        """
+        if self._fabric is None:
+            return
+        frame = wire.pack_abort(self.nprocs)
+        for dst in range(self.nprocs):
+            self._fabric.inboxes[dst].put((seq, frame))
+
     def run_batch(
         self, jobs: list[PoolJob], timeout_s: float = 300.0
     ) -> dict[int, JobOutcome]:
@@ -552,13 +617,17 @@ class WorkerPool:
 
         Returns one :class:`JobOutcome` per job seq. A job whose workers
         errored or aborted is reported failed but does not poison the
-        rest of the batch; a dead worker process or a global timeout
-        restarts the pool and fails every uncollected job.
+        rest of the batch; a job past its ``deadline`` is seq-aborted and
+        reported ``expired``, likewise without poisoning the batch. A
+        dead worker process or a global timeout heals the pool (restart
+        on ``P - f`` workers) and fails every uncollected job;
+        :attr:`last_error` records why.
         """
         if not jobs:
             return {}
         if not self.running:
             self.start()
+        self.last_error = None
         epoch = time.perf_counter()
         t0 = time.monotonic()
         for q in self._commands:
@@ -570,18 +639,39 @@ class WorkerPool:
             job.seq: JobOutcome(seq=job.seq) for job in jobs
         }
         pending = {job.seq: self.nprocs for job in jobs}
+        job_deadlines = {
+            job.seq: job.deadline for job in jobs if job.deadline is not None
+        }
         deadline = t0 + timeout_s
         broken: str | None = None
         while pending:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
+            now = time.monotonic()
+            if now - t0 > timeout_s:
                 broken = (
                     f"pool batch timeout after {timeout_s:.0f}s: "
                     f"{len(pending)} job(s) incomplete"
                 )
                 break
+            # Per-job deadlines: abort exactly the expired job. Workers
+            # that already shipped results for it are unaffected; the
+            # outcome stays failed even if stragglers later succeed.
+            wait = min(0.1, deadline - now)
+            for seq in [s for s in job_deadlines if s not in pending]:
+                del job_deadlines[seq]
+            for seq, dl in job_deadlines.items():
+                out = outcomes[seq]
+                if now > dl and not out.expired:
+                    out.expired = True
+                    if out.error is None:
+                        out.error = (
+                            f"job {seq} deadline exceeded "
+                            f"({now - dl:.3f}s past)"
+                        )
+                    self.abort_job(seq)
+                if not out.expired:
+                    wait = min(wait, max(dl - now, 0.005))
             try:
-                seq, res = self._results.get(timeout=min(0.1, remaining))
+                seq, res = self._results.get(timeout=max(wait, 0.001))
             except queue_mod.Empty:
                 if not self.alive:
                     dead = [
@@ -589,6 +679,10 @@ class WorkerPool:
                     ]
                     broken = f"pool worker process(es) died: {dead}"
                     break
+                continue
+            if seq == HEARTBEAT_SEQ:
+                rank, _jseq, t = res
+                self.last_heartbeats[rank] = t
                 continue
             out = outcomes.get(seq)
             if out is None:  # pragma: no cover - stale result
@@ -607,5 +701,6 @@ class WorkerPool:
                 out = outcomes[seq]
                 if out.error is None:
                     out.error = broken
-            self.restart()
+            self.last_error = broken
+            self.heal()
         return outcomes

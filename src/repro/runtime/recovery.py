@@ -42,10 +42,15 @@ from repro.runtime.faults import FaultPlan
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.trace import RunTrace
 
-#: FailureReport.outcome values.
+#: FailureReport.outcome values. The service layer reuses these to tag
+#: each JobRecord with how the job survived (clean / re-run after a pool
+#: heal / per-job sequential fallback).
 OUTCOME_CLEAN = "clean"
 OUTCOME_RECOVERED = "recovered"
 OUTCOME_DEGRADED = "degraded_sequential"
+
+#: Mapping name reported by sequential-fallback results.
+SEQUENTIAL_MAPPING = "sequential-fallback"
 
 
 @dataclass
@@ -250,13 +255,13 @@ def run_with_recovery(
     report.wall_s = time.perf_counter() - t_start
     metrics = RuntimeMetrics(
         nprocs=1, wall_s=report.wall_s, workers=[],
-        mapping="sequential-fallback",
+        mapping=SEQUENTIAL_MAPPING,
     )
     res = MPRuntimeResult(
         factor=factor,
         metrics=metrics,
         owners=np.zeros(tg.nblocks, dtype=np.int64),
-        mapping="sequential-fallback",
+        mapping=SEQUENTIAL_MAPPING,
         meta={"fallback": True},
         failure_report=report,
         trace=RunTrace.concat(salvaged_traces) if salvaged_traces else None,

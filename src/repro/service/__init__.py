@@ -24,6 +24,16 @@ jobs skip symbolic analysis, owner planning, and worker spawn entirely,
 shipping only a float64 values array per worker. Every result can be
 validated bitwise against the sequential :class:`~repro.numeric.BlockCholesky`
 baseline (``validate=True``).
+
+The service is self-healing: dead or stalled workers are detected
+mid-batch, the pool restarts on the survivors, and in-flight jobs are
+re-run (bounded attempts) before falling back to the always-correct
+sequential path — outcomes are tagged per job. Per-job deadlines,
+idempotent job-id dedup, a :class:`~repro.service.resilience.CircuitBreaker`
+guarding the pool, and client-side :class:`~repro.service.resilience.RetryPolicy`
+backoff round out the failure surface; every failure is a typed
+:class:`ServiceError` subclass, never a hang. ``python -m repro
+chaos-service`` drives the whole matrix deterministically.
 """
 
 from repro.service.admission import JobQueue, QueueStats
@@ -32,22 +42,27 @@ from repro.service.client import ClientResult, ServiceClient
 from repro.service.loadgen import LoadgenConfig, LoadgenReport, run_loadgen
 from repro.service.jobs import (
     AdmissionRejected,
+    DeadlineExceeded,
     FactorJob,
     JobFailed,
     JobHandle,
     JobResult,
     ServiceClosed,
     ServiceError,
+    ServiceUnavailable,
     UnknownPatternError,
     ValidationFailed,
 )
+from repro.service.resilience import CircuitBreaker, RetryPolicy
 from repro.service.metrics import JobRecord, ServiceMetrics
 from repro.service.server import ServiceServer
 from repro.service.service import FactorService
 
 __all__ = [
     "AdmissionRejected",
+    "CircuitBreaker",
     "ClientResult",
+    "DeadlineExceeded",
     "FactorJob",
     "FactorService",
     "JobFailed",
@@ -60,11 +75,13 @@ __all__ = [
     "PatternCache",
     "PatternEntry",
     "QueueStats",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceClosed",
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
+    "ServiceUnavailable",
     "UnknownPatternError",
     "ValidationFailed",
     "pattern_digest",

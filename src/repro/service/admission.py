@@ -39,6 +39,9 @@ class QueueStats:
     rejected: int = 0
     shed: int = 0
     timed_out: int = 0
+    #: Jobs whose per-job deadline passed while still queued (the
+    #: dispatcher fails them with ``DeadlineExceeded`` before dispatch).
+    expired: int = 0
     high_water: int = 0
 
     def to_dict(self) -> dict:
@@ -150,6 +153,11 @@ class JobQueue:
                 batch.append(self._items.popleft())
             self._cond.notify_all()
             return batch
+
+    def note_expired(self) -> None:
+        """Count one job that expired in the queue (dispatcher calls)."""
+        with self._cond:
+            self.stats.expired += 1
 
     def drain(self) -> list:
         """Remove and return every pending item (used at shutdown)."""

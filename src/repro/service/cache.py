@@ -54,6 +54,11 @@ class PatternEntry:
     #: Seconds of cold setup this entry cost (symbolic + plan + arena).
     setup_s: float = 0.0
     uses: int = 0
+    #: Crew size ``owners`` was planned for. After a pool heal shrinks
+    #: the crew to P - f, the service re-plans owners lazily on the next
+    #: job of the pattern (the arena layout is size-independent, so only
+    #: the plan changes). 0 = "whatever the service was configured with".
+    planned_nprocs: int = 0
     #: All-zero matrix in the pattern's shape — the assembly shell
     #: (every block is overwritten by gathered frames).
     _empty: sparse.csc_matrix | None = field(default=None, repr=False)

@@ -7,12 +7,24 @@ so run one client per concurrent lane (the loadgen does exactly that).
 Both modes raise the same typed errors
 (:class:`~repro.service.jobs.AdmissionRejected`,
 :class:`~repro.service.jobs.JobFailed`, ...).
+
+Socket-mode resilience: connects (and reads) under the client's
+``timeout`` — a down server is a typed
+:class:`~repro.service.jobs.ServiceUnavailable`, never a hang — and a
+broken connection triggers reconnect plus, when a
+:class:`~repro.service.resilience.RetryPolicy` is configured,
+exponential-backoff retries of ``retryable`` errors. Retries are safe
+because every ``factor`` carries a stable ``job_id`` and the server
+dedups on it: a retry of an in-flight or completed job never runs it
+twice.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
+import uuid
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,18 +32,23 @@ import numpy as np
 from repro.service import protocol
 from repro.service.jobs import (
     AdmissionRejected,
+    DeadlineExceeded,
     JobFailed,
     ServiceClosed,
     ServiceError,
+    ServiceUnavailable,
     UnknownPatternError,
     ValidationFailed,
 )
+from repro.service.resilience import RetryPolicy
 
 #: Wire ``kind`` tag -> exception type raised client-side.
 _ERROR_TYPES = {
     "rejected": lambda m: AdmissionRejected("remote", m),
     "closed": ServiceClosed,
     "unknown_pattern": UnknownPatternError,
+    "deadline": DeadlineExceeded,
+    "unavailable": ServiceUnavailable,
     "failed": lambda m: JobFailed("<remote>", m),
     "validation": lambda m: ValidationFailed("<remote>", m),
     "error": ServiceError,
@@ -66,6 +83,10 @@ class ServiceClient:
     >>> client = ServiceClient(address=("host", 9876))  # TCP
     >>> res = client.factor(A)
     >>> res2 = client.factor(pattern_id=res.pattern_id, values=new_data)
+
+    ``retry`` (a :class:`~repro.service.resilience.RetryPolicy`, or None
+    to disable) governs reconnect-and-retry of transient failures in
+    socket mode; :attr:`retry_count` tallies retries actually taken.
     """
 
     def __init__(
@@ -73,40 +94,101 @@ class ServiceClient:
         service=None,
         address: tuple[str, int] | None = None,
         timeout: float | None = 120.0,
+        retry: RetryPolicy | None = None,
     ):
         if (service is None) == (address is None):
             raise ValueError("give exactly one of service= or address=")
         self.service = service
         self.address = address
         self.timeout = timeout
+        self.retry = retry
+        #: Total transient-error retries this client has taken.
+        self.retry_count = 0
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
         if address is not None:
             self._connect()
 
     def _connect(self) -> None:
-        self._sock = socket.create_connection(self.address, timeout=None)
+        # The configured timeout bounds connect AND every read: a down
+        # or wedged server is a typed error, never an indefinite hang.
+        try:
+            self._sock = socket.create_connection(
+                self.address, timeout=self.timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            raise ServiceUnavailable(
+                f"cannot connect to {self.address[0]}:{self.address[1]}: "
+                f"{exc}"
+            ) from exc
         self._sock.setsockopt(
             socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
         )
 
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+            self._sock = None
+
     # ------------------------------------------------------------------
-    def _request(self, msg: dict) -> dict:
+    def _request_once(self, msg: dict) -> dict:
+        """One request/response round trip. Connection-level failures
+        (broken pipe, timeout, dead server) drop the socket and surface
+        as the retryable :class:`ServiceUnavailable`."""
         with self._lock:
-            protocol.send_msg(self._sock, msg)
-            response = protocol.recv_msg(self._sock)
+            try:
+                if self._sock is None:
+                    self._connect()
+                protocol.send_msg(self._sock, msg)
+                response = protocol.recv_msg(self._sock)
+            except ServiceUnavailable:
+                raise
+            except (OSError, protocol.ProtocolError) as exc:
+                self._drop_connection()
+                raise ServiceUnavailable(
+                    f"connection to {self.address} broke: {exc!r}"
+                ) from exc
         if response is None:
-            raise ServiceClosed("server closed the connection")
+            self._drop_connection()
+            raise ServiceUnavailable("server closed the connection")
         if not response.get("ok"):
             make = _ERROR_TYPES.get(response.get("kind"), ServiceError)
             raise make(response.get("error", "unknown server error"))
         return response
+
+    def _request(self, msg: dict) -> dict:
+        """Round trip with the retry policy applied: ``retryable`` typed
+        errors back off and go again (reconnecting if the socket
+        dropped); everything else raises immediately."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(msg)
+            except ServiceError as exc:
+                if self.retry is None or not self.retry.should_retry(
+                    attempt, exc
+                ):
+                    raise
+                time.sleep(self.retry.delay(attempt))
+                attempt += 1
+                self.retry_count += 1
 
     # ------------------------------------------------------------------
     def ping(self) -> bool:
         if self.service is not None:
             return not self.service.queue.closed
         return bool(self._request({"op": "ping"})["ok"])
+
+    def health(self) -> dict:
+        """The service's liveness/degradation probe (see
+        :meth:`~repro.service.service.FactorService.health`)."""
+        if self.service is not None:
+            return self.service.health()
+        return self._request({"op": "health"})["health"]
 
     def factor(
         self,
@@ -115,14 +197,19 @@ class ServiceClient:
         values: np.ndarray | None = None,
         job_id: str | None = None,
         timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> ClientResult:
         """Factor a matrix (or pattern handle + values); blocks until
-        the job completes. Raises the service's typed errors."""
+        the job completes. Raises the service's typed errors.
+        ``deadline_s`` is the job's end-to-end budget — past it the call
+        raises :class:`~repro.service.jobs.DeadlineExceeded`, never
+        hangs. A stable ``job_id`` is generated when not given, so
+        socket-mode retries of the same call are idempotent."""
         timeout = self.timeout if timeout is None else timeout
         if self.service is not None:
             handle = self.service.submit(
                 A=A, pattern_id=pattern_id, values=values,
-                job_id=job_id, timeout=timeout,
+                job_id=job_id, timeout=timeout, deadline_s=deadline_s,
             )
             res = handle.result(timeout)
             return ClientResult(
@@ -136,8 +223,10 @@ class ServiceClient:
         msg = {
             "op": "factor",
             "pattern_id": pattern_id,
-            "job_id": job_id,
+            # Stable across retries: the server dedups on it.
+            "job_id": job_id or uuid.uuid4().hex[:12],
             "timeout": timeout,
+            "deadline_s": deadline_s,
         }
         if A is not None:
             msg["A"] = protocol.pack_csc(A)
@@ -164,11 +253,7 @@ class ServiceClient:
             self._request({"op": "shutdown"})
 
     def close(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            finally:
-                self._sock = None
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -18,13 +18,18 @@ class ServiceError(RuntimeError):
 
     #: Stable wire tag (socket protocol maps errors back to types by it).
     kind = "error"
+    #: Whether an idempotent retry of the same job may succeed (clients
+    #: branch on this for backoff-retry; see ``ServiceClient``).
+    retryable = False
 
 
 class AdmissionRejected(ServiceError):
     """The admission controller refused the job (queue full / shed /
-    closed). The job never entered the queue — nothing ran."""
+    closed). The job never entered the queue — nothing ran, so an
+    idempotent retry after backoff is always safe."""
 
     kind = "rejected"
+    retryable = True
 
     def __init__(self, reason: str, message: str | None = None):
         super().__init__(message or f"job rejected: {reason}")
@@ -41,6 +46,26 @@ class UnknownPatternError(ServiceError):
     """A values-only job named a pattern id the cache does not hold."""
 
     kind = "unknown_pattern"
+
+
+class DeadlineExceeded(ServiceError):
+    """The job's per-job deadline passed before a factor was released.
+
+    Raised server-side (the dispatcher seq-aborts the expired job without
+    poisoning its batch) and client-side (``JobHandle.result`` raises it
+    once the deadline passes even if the server is still working). Not
+    retryable: the budget is spent."""
+
+    kind = "deadline"
+
+
+class ServiceUnavailable(ServiceError):
+    """The client could not reach the service (connect/request failed or
+    timed out). Retries are idempotent thanks to server-side job-id
+    dedup, so this is retryable."""
+
+    kind = "unavailable"
+    retryable = True
 
 
 class JobFailed(ServiceError):
@@ -79,7 +104,21 @@ class FactorJob:
     A: sparse.csc_matrix | None = None
     pattern_id: str | None = None
     values: np.ndarray | None = None
+    #: Per-job budget in seconds from submission; None = no deadline.
+    deadline_s: float | None = None
     submitted_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute ``time.monotonic()`` deadline (None when unbounded)."""
+        if self.deadline_s is None:
+            return None
+        return self.submitted_at + self.deadline_s
+
+    @property
+    def expired(self) -> bool:
+        dl = self.deadline
+        return dl is not None and time.monotonic() > dl
 
     def __post_init__(self) -> None:
         if self.A is None:
@@ -149,7 +188,24 @@ class JobHandle:
         self._event.set()
 
     def result(self, timeout: float | None = None) -> JobResult:
-        if not self._event.wait(timeout):
+        """Block for the result.
+
+        The wait is additionally bounded by the job's own deadline:
+        whatever the server is doing, a deadlined job's ``result()``
+        returns or raises the typed :class:`DeadlineExceeded` by its
+        deadline — a client never hangs past the budget it asked for.
+        """
+        deadline = self.job.deadline
+        wait = timeout
+        if deadline is not None:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            wait = remaining if wait is None else min(wait, remaining)
+        if not self._event.wait(wait):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded(
+                    f"job {self.job_id!r} missed its "
+                    f"{self.job.deadline_s}s deadline"
+                )
             raise TimeoutError(
                 f"job {self.job_id!r} not done within {timeout}s"
             )

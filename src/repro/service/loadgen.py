@@ -49,6 +49,16 @@ class LoadgenConfig:
     #: Submit repeats as (pattern_id, values) when the handle is known.
     values_only: bool = True
     timeout: float = 120.0
+    #: Per-job deadline forwarded to the service (None = unbounded).
+    deadline_s: float | None = None
+    #: Client-side retries of transient typed errors (0 disables; socket
+    #: mode only — in-process callers talk to the service directly).
+    retries: int = 0
+    #: SIGKILL a pool worker when this many jobs have been submitted
+    #: (-1 disables; needs ``service=`` passed to :func:`run_loadgen`).
+    kill_worker_at: int = -1
+    #: Which rank :attr:`kill_worker_at` kills.
+    kill_rank: int = 0
 
 
 @dataclass
@@ -135,9 +145,10 @@ class LoadgenReport:
         hits = [o for o in ok if o["cache"] == "hit"]
         misses = [o for o in ok if o["cache"] == "miss"]
         rejected = [o for o in self.outcomes if o["status"] == "rejected"]
+        expired = [o for o in self.outcomes if o["status"] == "expired"]
         failed = [
             o for o in self.outcomes
-            if o["status"] not in ("ok", "rejected")
+            if o["status"] not in ("ok", "rejected", "expired")
         ]
         return {
             "config": dict(self.config.__dict__),
@@ -148,7 +159,18 @@ class LoadgenReport:
             "jobs": {
                 "ok": len(ok),
                 "rejected": len(rejected),
+                "expired": len(expired),
                 "failed": len(failed),
+            },
+            "resilience": {
+                "retries": sum(o.get("retries", 0) for o in self.outcomes),
+                "recovered": len(
+                    [o for o in ok if o.get("outcome") == "recovered"]
+                ),
+                "degraded": len(
+                    [o for o in ok
+                     if o.get("outcome") == "degraded_sequential"]
+                ),
             },
             "cache": {"hit": len(hits), "miss": len(misses)},
             "latency_s": _pct([o["latency_s"] for o in ok]),
@@ -161,16 +183,25 @@ class LoadgenReport:
         }
 
     def render(self) -> str:
+        from repro.service.metrics import PERCENTILES
+
         d = self.to_dict()
+        r = d["resilience"]
         lines = [
             f"{d['jobs']['ok']} ok, {d['jobs']['rejected']} rejected, "
+            f"{d['jobs']['expired']} expired, "
             f"{d['jobs']['failed']} failed in {d['wall_s']:.2f}s "
             f"({d['throughput_jobs_s']:.1f} jobs/s)",
+            f"resilience: {r['retries']} client retries, "
+            f"{r['recovered']} recovered, "
+            f"{r['degraded']} degraded-sequential",
             f"cache: {d['cache']['hit']} hits / "
             f"{d['cache']['miss']} misses",
-            f"latency p50={d['latency_s']['p50'] * 1e3:.1f}ms "
-            f"p90={d['latency_s']['p90'] * 1e3:.1f}ms "
-            f"p99={d['latency_s']['p99'] * 1e3:.1f}ms",
+            "latency "
+            + " ".join(
+                f"p{p}={d['latency_s'][f'p{p}'] * 1e3:.1f}ms"
+                for p in PERCENTILES
+            ),
             f"setup cold={d['setup_s']['cold']['mean'] * 1e3:.1f}ms "
             f"warm={d['setup_s']['warm']['mean'] * 1e3:.1f}ms "
             "(warm jobs skip symbolic analysis + planning)",
@@ -181,20 +212,48 @@ class LoadgenReport:
 class _Runner:
     """Shared state for one load run (thread-safe)."""
 
-    def __init__(self, cfg: LoadgenConfig, client_factory):
+    def __init__(self, cfg: LoadgenConfig, client_factory, service=None):
         self.cfg = cfg
         self.client_factory = client_factory
+        #: In-process service, when the caller has one — enables the
+        #: ``kill_worker_at`` chaos hook.
+        self.service = service
         self.matrices = build_matrices(cfg)
         self.schedule = build_schedule(cfg)
         self.lock = threading.Lock()
         #: pattern index -> service pattern_id (learned from results).
         self.handles: dict[int, str] = {}
         self.outcomes: list[dict] = [None] * len(self.schedule)
+        self.submitted = 0
+        self.killed = False
+
+    def _maybe_kill_worker(self) -> None:
+        """SIGKILL the configured pool rank once ``kill_worker_at`` jobs
+        have been submitted — the real mid-run worker-death chaos case."""
+        cfg = self.cfg
+        if (
+            cfg.kill_worker_at < 0
+            or self.service is None
+            or self.killed
+            or self.submitted < cfg.kill_worker_at
+        ):
+            return
+        import os
+        import signal
+
+        self.killed = True
+        procs = self.service.pool._procs
+        if procs and 0 <= cfg.kill_rank < len(procs):
+            proc = procs[cfg.kill_rank]
+            if proc.is_alive() and proc.pid:
+                os.kill(proc.pid, signal.SIGKILL)
 
     def run_one(self, client, spec: _JobSpec) -> None:
         M = fresh_values(self.matrices[spec.pattern], spec.diag_shift)
         with self.lock:
             handle = self.handles.get(spec.pattern)
+            self.submitted += 1
+            self._maybe_kill_worker()
         use_values = (
             self.cfg.values_only and spec.repeat and handle is not None
         )
@@ -206,20 +265,26 @@ class _Runner:
             "values_only": use_values,
             "status": "ok",
             "cache": "",
+            "outcome": "",
+            "retries": 0,
             "latency_s": 0.0,
             "setup_s": 0.0,
         }
+        retries_before = getattr(client, "retry_count", 0)
+        kw = dict(
+            timeout=self.cfg.timeout, deadline_s=self.cfg.deadline_s
+        )
         try:
             if use_values:
                 res = client.factor(
-                    pattern_id=handle, values=M.data,
-                    timeout=self.cfg.timeout,
+                    pattern_id=handle, values=M.data, **kw
                 )
             else:
-                res = client.factor(A=M, timeout=self.cfg.timeout)
+                res = client.factor(A=M, **kw)
         except ServiceError as exc:
             outcome["status"] = (
                 "rejected" if exc.kind in ("rejected", "closed")
+                else "expired" if exc.kind == "deadline"
                 else "failed"
             )
             outcome["error"] = str(exc)
@@ -227,19 +292,25 @@ class _Runner:
             outcome["cache"] = res.cache
             if res.record:
                 outcome["setup_s"] = res.record.get("setup_s", 0.0)
+                outcome["outcome"] = res.record.get("outcome", "")
                 outcome["queue_wait_s"] = res.record.get(
                     "queue_wait_s", 0.0
                 )
             with self.lock:
                 self.handles.setdefault(spec.pattern, res.pattern_id)
+        outcome["retries"] = getattr(client, "retry_count", 0) - retries_before
         outcome["latency_s"] = time.monotonic() - t0
         self.outcomes[spec.index] = outcome
 
 
-def run_loadgen(client_factory, cfg: LoadgenConfig) -> LoadgenReport:
+def run_loadgen(
+    client_factory, cfg: LoadgenConfig, service=None
+) -> LoadgenReport:
     """Drive one load run; ``client_factory()`` makes one client per
-    concurrent lane (a TCP connection, or an in-process wrapper)."""
-    runner = _Runner(cfg, client_factory)
+    concurrent lane (a TCP connection, or an in-process wrapper).
+    ``service`` (the in-process :class:`FactorService`, when the caller
+    owns one) enables the ``kill_worker_at`` fault hook."""
+    runner = _Runner(cfg, client_factory, service=service)
     t_start = time.monotonic()
     if cfg.mode == "closed":
         _run_closed(runner)

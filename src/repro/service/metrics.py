@@ -18,8 +18,8 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-#: Latency percentiles reported everywhere.
-PERCENTILES = (50, 90, 99)
+#: Tail-latency percentiles reported everywhere.
+PERCENTILES = (50, 95, 99)
 
 
 @dataclass
@@ -30,10 +30,19 @@ class JobRecord:
     pattern_id: str = ""
     #: ``"hit"`` / ``"miss"`` (empty for jobs that never reached the cache).
     cache: str = ""
-    #: ``"ok"``, ``"failed"``, ``"rejected"``, or ``"shed"``.
+    #: ``"ok"``, ``"failed"``, ``"expired"``, ``"rejected"``, or ``"shed"``.
     status: str = "ok"
+    #: How the job survived: ``"clean"`` (first parallel attempt),
+    #: ``"recovered"`` (re-run after a pool heal), or
+    #: ``"degraded_sequential"`` (per-job sequential fallback). Tags from
+    #: :mod:`repro.runtime.recovery`.
+    outcome: str = "clean"
+    #: Parallel attempts consumed (1 = clean; fallback adds none).
+    attempts: int = 1
     #: Seconds spent in the admission queue before dispatch.
     queue_wait_s: float = 0.0
+    #: Per-job deadline budget the client asked for (0 = none).
+    deadline_s: float = 0.0
     #: Cold-path setup: symbolic analysis + owner planning + arena
     #: creation. ~0 on a cache hit — that drop *is* the service's point.
     setup_s: float = 0.0
@@ -71,7 +80,17 @@ class ServiceMetrics:
     failed: int = 0
     rejected: int = 0
     shed: int = 0
+    expired: int = 0
     batches: int = 0
+    #: Submissions answered from the job-id dedup table (idempotent
+    #: client retries of an in-flight or completed job).
+    deduped: int = 0
+    #: Jobs that completed via re-run after a pool heal.
+    recovered: int = 0
+    #: Jobs that completed via the per-job sequential fallback.
+    degraded: int = 0
+    #: Pool-level breakages the dispatcher healed around.
+    pool_restarts: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -89,13 +108,27 @@ class ServiceMetrics:
         with self._lock:
             self.batches += 1
 
+    def count_deduped(self) -> None:
+        with self._lock:
+            self.deduped += 1
+
+    def count_pool_restart(self) -> None:
+        with self._lock:
+            self.pool_restarts += 1
+
     def add(self, record: JobRecord) -> None:
         with self._lock:
             self.records.append(record)
             if record.status == "ok":
                 self.completed += 1
+                if record.outcome == "recovered":
+                    self.recovered += 1
+                elif record.outcome == "degraded_sequential":
+                    self.degraded += 1
             elif record.status == "shed":
                 self.shed += 1
+            elif record.status == "expired":
+                self.expired += 1
             else:
                 self.failed += 1
 
@@ -116,6 +149,13 @@ class ServiceMetrics:
                     "failed": self.failed,
                     "rejected": self.rejected,
                     "shed": self.shed,
+                    "expired": self.expired,
+                },
+                "resilience": {
+                    "deduped": self.deduped,
+                    "recovered": self.recovered,
+                    "degraded": self.degraded,
+                    "pool_restarts": self.pool_restarts,
                 },
                 "batches": self.batches,
                 "batch_size": _pct([float(r.batch_size) for r in ok]),
@@ -144,10 +184,16 @@ class ServiceMetrics:
         """Compact human-readable summary block."""
         s = self.summary()
         j = s["jobs"]
+        r = s["resilience"]
         lines = [
             f"jobs: {j['completed']} ok / {j['failed']} failed / "
-            f"{j['rejected']} rejected / {j['shed']} shed "
+            f"{j['expired']} expired / {j['rejected']} rejected / "
+            f"{j['shed']} shed "
             f"(of {j['submitted']} submitted, {s['batches']} batches)",
+            f"resilience: {r['recovered']} recovered / "
+            f"{r['degraded']} degraded-sequential / "
+            f"{r['pool_restarts']} pool restarts / "
+            f"{r['deduped']} deduped retries",
             f"cache: {s['cache']['hit']} hits / {s['cache']['miss']} misses",
             "e2e latency: "
             + " ".join(

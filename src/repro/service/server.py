@@ -9,6 +9,7 @@ connections, admission control from the service's queue.
 Request ops::
 
     {"op": "ping"}
+    {"op": "health"}
     {"op": "factor", "A": {...csc...}} |
     {"op": "factor", "pattern_id": "...", "values": ndarray}
     {"op": "stats"}
@@ -87,6 +88,8 @@ class ServiceServer:
         op = msg.get("op")
         if op == "ping":
             return {"ok": True}
+        if op == "health":
+            return {"ok": True, "health": self.service.health()}
         if op == "stats":
             return {"ok": True, "stats": self.service.stats()}
         if op == "factor":
@@ -97,6 +100,7 @@ class ServiceServer:
                 values=msg.get("values"),
                 job_id=msg.get("job_id"),
                 timeout=msg.get("timeout"),
+                deadline_s=msg.get("deadline_s"),
             )
             result = handle.result(msg.get("timeout"))
             return {

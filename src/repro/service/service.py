@@ -26,6 +26,7 @@ import itertools
 import threading
 import time
 import uuid
+from collections import OrderedDict
 
 import numpy as np
 from scipy import sparse
@@ -34,10 +35,17 @@ from repro.runtime.arena import BlockArena, resolve_transport
 from repro.runtime.engine import _assemble, _merge_trace
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.pool import PoolJob, WorkerPool
+from repro.runtime.recovery import (
+    OUTCOME_CLEAN,
+    OUTCOME_DEGRADED,
+    OUTCOME_RECOVERED,
+    SEQUENTIAL_MAPPING,
+)
 from repro.service.admission import JobQueue
 from repro.service.cache import PatternCache, PatternEntry, pattern_digest
 from repro.service.jobs import (
     AdmissionRejected,
+    DeadlineExceeded,
     FactorJob,
     JobFailed,
     JobHandle,
@@ -47,6 +55,7 @@ from repro.service.jobs import (
     ValidationFailed,
 )
 from repro.service.metrics import JobRecord, ServiceMetrics
+from repro.service.resilience import CircuitBreaker
 
 #: Errors the dispatcher turns into per-job failures rather than letting
 #: them crash the batch (``ValidationFailed`` subclasses ``JobFailed``).
@@ -62,6 +71,20 @@ class _Queued:
         self.job = job
         self.handle = handle
         self.enqueued_at = time.monotonic()
+
+
+class _Prep:
+    """A batch job after pattern resolution, through its attempts."""
+
+    __slots__ = ("queued", "entry", "record", "values", "fault_plan", "seq")
+
+    def __init__(self, queued, entry, record, values, fault_plan=None):
+        self.queued = queued
+        self.entry = entry
+        self.record = record
+        self.values = values
+        self.fault_plan = fault_plan
+        self.seq = -1  # pool seq of the latest attempt
 
 
 class FactorService:
@@ -95,6 +118,13 @@ class FactorService:
         stall_timeout_s: float = 30.0,
         batch_timeout_s: float = 300.0,
         record_timeline: bool = False,
+        default_deadline_s: float | None = None,
+        max_job_attempts: int = 2,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+        dedup_capacity: int = 64,
+        fault_plan=None,
+        fault_jobs: tuple = (),
     ):
         self.nprocs = int(nprocs)
         self.ordering = ordering
@@ -123,6 +153,16 @@ class FactorService:
         self.cache = PatternCache(cache_capacity)
         self.queue = JobQueue(queue_capacity, admission)
         self.metrics = ServiceMetrics()
+        self.default_deadline_s = default_deadline_s
+        self.max_job_attempts = max(1, int(max_job_attempts))
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_s)
+        #: Deterministic chaos injection: ``fault_plan`` is attached to
+        #: the jobs whose dispatch index (0-based, in admission order) is
+        #: in ``fault_jobs`` — first parallel attempt only, so injected
+        #: faults are transient by construction.
+        self.fault_plan = fault_plan
+        self.fault_jobs = frozenset(fault_jobs)
+        self._dispatched = 0
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._closed = False
@@ -131,6 +171,13 @@ class FactorService:
         #: Entries whose arenas must be released after the current batch
         #: (cache evictions are deferred past in-flight jobs).
         self._pending_evictions: list[PatternEntry] = []
+        # Job-id dedup: outstanding handles (submitted, not finished) and
+        # a bounded map of completed results, so an idempotent client
+        # retry of the same job_id never runs the job twice.
+        self._dedup_lock = threading.Lock()
+        self._outstanding: dict[str, JobHandle] = {}
+        self._completed: OrderedDict[str, JobResult] = OrderedDict()
+        self._dedup_capacity = max(0, int(dedup_capacity))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -152,9 +199,12 @@ class FactorService:
         return self
 
     def close(self, timeout: float = 30.0) -> None:
-        """Drain-free shutdown: pending jobs fail with
-        :class:`ServiceClosed`; the pool and every arena are released.
-        Idempotent."""
+        """Graceful drain, bounded by ``timeout``: stop admission, let
+        the dispatcher finish in-flight and queued batches, then fail
+        every handle still outstanding with a typed
+        :class:`ServiceClosed` — a caller blocked in ``result()`` always
+        gets an answer, never a hang. The pool and every arena are
+        released. Idempotent."""
         with self._lock:
             if self._closed:
                 return
@@ -162,10 +212,30 @@ class FactorService:
         self.queue.close()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout)
+        drained = (
+            self._dispatcher is None or not self._dispatcher.is_alive()
+        )
         for queued in self.queue.drain():
             self._finish_rejected(
                 queued, ServiceClosed("service is shut down"), "failed"
             )
+        # Stragglers the drain did not reach — jobs taken into a batch
+        # that never completed (hung pool, stuck dispatcher). Without
+        # this, their callers block in result() forever.
+        with self._dedup_lock:
+            stragglers = list(self._outstanding.values())
+            self._outstanding.clear()
+        for handle in stragglers:
+            if not handle.done():
+                why = (
+                    "service is shut down"
+                    if drained
+                    else f"shutdown drain timed out after {timeout:.0f}s"
+                )
+                self.metrics.add(JobRecord(
+                    job_id=handle.job_id, status="failed", error=why,
+                ))
+                handle.set_exception(ServiceClosed(why))
         self.pool.close()
         self._release_evictions()
         self.cache.close()
@@ -186,13 +256,22 @@ class FactorService:
         values: np.ndarray | None = None,
         job_id: str | None = None,
         timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> JobHandle:
         """Queue one factorization; returns immediately with a handle.
 
         ``timeout`` bounds the backpressure wait under the ``"block"``
         admission policy. Raises :class:`AdmissionRejected` /
         :class:`ServiceClosed` at submit time — a full queue is a typed
-        error, never a hang.
+        error, never a hang. ``deadline_s`` is the job's end-to-end
+        budget: past it, the job fails with a typed
+        :class:`DeadlineExceeded` wherever it is (queued, mid-batch, or
+        waited on), without disturbing its batch.
+
+        Submitting an explicit ``job_id`` is idempotent: a resubmission
+        while the job is in flight returns the same handle; one after
+        completion returns the cached result — so client retries after a
+        broken connection never run a job twice.
         """
         if not self._started:
             self.start()
@@ -201,13 +280,33 @@ class FactorService:
             A=A,
             pattern_id=pattern_id,
             values=values,
+            deadline_s=(
+                deadline_s if deadline_s is not None
+                else self.default_deadline_s
+            ),
         )
         handle = JobHandle(job)
+        with self._dedup_lock:
+            existing = self._outstanding.get(job.job_id)
+            if existing is not None:
+                self.metrics.count_deduped()
+                return existing
+            cached = self._completed.get(job.job_id)
+            if cached is not None:
+                self.metrics.count_deduped()
+                handle.set_result(cached)
+                return handle
+            # Register before the queue put: the dispatcher may finish
+            # (and retire) the job before put() even returns.
+            self._outstanding[job.job_id] = handle
         self.metrics.count_submitted()
         try:
             shed = self.queue.put(_Queued(job, handle), timeout=timeout)
-        except AdmissionRejected:
-            self.metrics.count_rejected()
+        except (AdmissionRejected, ServiceClosed) as exc:
+            if isinstance(exc, AdmissionRejected):
+                self.metrics.count_rejected()
+            with self._dedup_lock:
+                self._outstanding.pop(job.job_id, None)
             raise
         if shed is not None:
             self._finish_rejected(
@@ -224,12 +323,54 @@ class FactorService:
         """Service-level counters + aggregates (JSON-safe)."""
         return {
             "nprocs": self.nprocs,
+            "pool_nprocs": self.pool.nprocs,
             "transport": self.transport,
             "mapping": self.mapping,
             "pool_generation": self.pool.generation,
+            "breaker": self.breaker.to_dict(),
             "queue": self.queue.stats.to_dict(),
             "pattern_cache": self.cache.stats(),
             "service": self.metrics.to_dict(include_records=False),
+        }
+
+    def health(self) -> dict:
+        """Cheap liveness/degradation probe (JSON-safe).
+
+        ``status`` is ``"ok"`` (pool healthy, breaker closed),
+        ``"degraded"`` (breaker open/half-open, or the pool healed down
+        to fewer workers than configured), or ``"closed"``.
+        """
+        breaker = self.breaker.to_dict()
+        degraded = (
+            breaker["state"] != CircuitBreaker.CLOSED
+            or (self.pool.running and self.pool.nprocs < self.nprocs)
+        )
+        status = (
+            "closed" if self._closed
+            else "degraded" if degraded
+            else "ok"
+        )
+        now = time.monotonic()
+        return {
+            "status": status,
+            "breaker": breaker,
+            "pool": {
+                "running": self.pool.running,
+                "alive": self.pool.alive,
+                "nprocs": self.pool.nprocs,
+                "configured_nprocs": self.nprocs,
+                "generation": self.pool.generation,
+                "heartbeat_age_s": {
+                    str(rank): round(now - t, 3)
+                    for rank, t in sorted(
+                        self.pool.last_heartbeats.items()
+                    )
+                },
+            },
+            "queue": {
+                "depth": len(self.queue),
+                "closed": self.queue.closed,
+            },
         }
 
     # ------------------------------------------------------------------
@@ -260,17 +401,21 @@ class FactorService:
     def _run_batch(self, batch: list) -> None:
         self.metrics.count_batch()
         t_dispatch = time.monotonic()
-        specs: list[PoolJob] = []
-        prepared: list[tuple] = []  # (queued, entry, record, seq)
+        prepared: list[_Prep] = []
         protect = {
             q.job.pattern_id for q in batch if q.job.pattern_id
         }
-        last_on_arena: dict[str, int] = {}
         for queued in batch:
             record = JobRecord(
                 job_id=queued.job.job_id,
                 queue_wait_s=t_dispatch - queued.enqueued_at,
+                deadline_s=queued.job.deadline_s or 0.0,
             )
+            if queued.job.expired:
+                # Died waiting in the queue — typed error, nothing runs.
+                self.queue.note_expired()
+                self._finish_expired(queued, record)
+                continue
             try:
                 entry, record.cache, A_full = self._resolve_entry(
                     queued.job, record, protect
@@ -282,11 +427,73 @@ class FactorService:
                 self._finish_failed(queued, exc, record)
                 continue
             protect.add(entry.pattern_id)
-            seq = next(self._seq)
+            plan = None
+            if self.fault_plan is not None and (
+                self._dispatched in self.fault_jobs
+            ):
+                plan = self.fault_plan
+            self._dispatched += 1
+            prepared.append(_Prep(queued, entry, record, values, plan))
+        if not self.breaker.allow():
+            # Breaker open: don't touch the pool; every job runs on the
+            # sequential fallback — degraded but correct.
+            for p in prepared:
+                p.record.batch_size = len(prepared)
+                self._run_sequential(p)
+            self._release_evictions()
+            return
+        # Bounded parallel attempts: jobs that fail on a broken pool are
+        # re-dispatched (fresh seqs; contexts re-ship because the healed
+        # pool forgot them; owners re-planned for the shrunken crew).
+        pending = prepared
+        attempt = 0
+        while pending and attempt < self.max_job_attempts:
+            specs = self._make_specs(pending, attempt)
+            outcomes = self.pool.run_batch(
+                specs, timeout_s=self.batch_timeout_s
+            )
+            if self.pool.last_error is not None:
+                self.metrics.count_pool_restart()
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+            attempt += 1
+            retry = []
+            for p in pending:
+                out = outcomes[p.seq]
+                p.record.attempts = attempt
+                if out.ok:
+                    p.record.outcome = (
+                        OUTCOME_CLEAN if attempt == 1 else OUTCOME_RECOVERED
+                    )
+                    p.record.batch_size = len(specs)
+                    self._finish_job(p.queued, p.entry, p.record, out)
+                elif out.expired or p.queued.job.expired:
+                    self._finish_expired(p.queued, p.record)
+                else:
+                    p.record.error = out.error or "aborted"
+                    retry.append(p)
+            pending = retry
+            if pending and not self.breaker.allow():
+                break  # the breaker tripped mid-loop: stop probing
+        # Attempts exhausted (or breaker open): per-job sequential
+        # fallback, the always-correct last resort.
+        for p in pending:
+            self._run_sequential(p)
+        self._release_evictions()
+
+    def _make_specs(self, pending: list[_Prep], attempt: int) -> list[PoolJob]:
+        """Pool specs for one parallel attempt (fresh seqs each time)."""
+        specs = []
+        last_on_arena: dict[str, int] = {}
+        for p in pending:
+            entry = p.entry
+            self._sync_plan(entry)
+            p.seq = next(self._seq)
             spec = PoolJob(
-                seq=seq,
+                seq=p.seq,
                 pattern_id=entry.pattern_id,
-                values=values,
+                values=p.values,
                 context=(
                     entry.context()
                     if entry.pattern_id not in self.pool.seen_patterns
@@ -294,28 +501,115 @@ class FactorService:
                 ),
                 wait_for=last_on_arena.get(entry.pattern_id),
                 trace_capacity=self.trace_capacity,
+                deadline=p.queued.job.deadline,
+                # Injected faults fire on the first attempt only —
+                # transient by construction, like CrashSpec's default.
+                fault_plan=p.fault_plan if attempt == 0 else None,
             )
             if entry.arena is not None:
-                last_on_arena[entry.pattern_id] = seq
+                last_on_arena[entry.pattern_id] = p.seq
             if spec.context is not None:
                 # run_batch records it too, but later jobs in *this* loop
                 # must already see the pattern as shipped.
                 self.pool.seen_patterns.add(entry.pattern_id)
             specs.append(spec)
-            prepared.append((queued, entry, record, seq))
         # A job needs a DONE announcement exactly when a later job in the
         # batch waits on its arena slots.
         waited_on = {s.wait_for for s in specs if s.wait_for is not None}
         for spec in specs:
             spec.announce = spec.seq in waited_on
-        if specs:
-            outcomes = self.pool.run_batch(
-                specs, timeout_s=self.batch_timeout_s
+        return specs
+
+    def _sync_plan(self, entry: PatternEntry) -> None:
+        """Re-plan the entry's owners when the pool healed to a
+        different crew size (the arena layout is crew-size-independent,
+        so only the plan changes; the context re-ships regardless
+        because the restarted pool cleared ``seen_patterns``)."""
+        planned = entry.planned_nprocs or self.nprocs
+        if planned == self.pool.nprocs:
+            return
+        from repro.runtime.engine import plan_owners
+
+        entry.owners, entry.mapping_name = plan_owners(
+            entry.tg.workmodel, entry.tg, self.pool.nprocs,
+            self.mapping, self.use_domains,
+        )
+        entry.planned_nprocs = self.pool.nprocs
+        # Any stale shipped context described the old owners.
+        self.pool.evict([entry.pattern_id])
+
+    def _run_sequential(self, p: _Prep) -> None:
+        """Per-job sequential fallback: always correct (bitwise equal to
+        the parallel factor), never parallel."""
+        from repro.numeric import BlockCholesky
+
+        if p.queued.job.expired:
+            self._finish_expired(p.queued, p.record)
+            return
+        t0 = time.monotonic()
+        try:
+            A_perm = sparse.csc_matrix(
+                (p.values, p.entry.symbolic.A.indices,
+                 p.entry.symbolic.A.indptr),
+                shape=p.entry.shape,
             )
-            for queued, entry, record, seq in prepared:
-                record.batch_size = len(specs)
-                self._finish_job(queued, entry, record, outcomes[seq])
-        self._release_evictions()
+            factor = BlockCholesky(p.entry.structure, A_perm).factor()
+            L = factor.to_csc()
+        except Exception as exc:  # noqa: BLE001 - typed per-job failure
+            p.record.status = "failed"
+            p.record.error = f"sequential fallback failed: {exc!r}"
+            self._finish_failed(
+                p.queued,
+                JobFailed(p.queued.job.job_id, p.record.error),
+                p.record,
+            )
+            return
+        p.record.outcome = OUTCOME_DEGRADED
+        p.record.status = "ok"
+        p.record.error = ""
+        p.record.run_s = time.monotonic() - t0
+        p.record.e2e_s = time.monotonic() - p.queued.job.submitted_at
+        metrics = RuntimeMetrics(
+            nprocs=1,
+            wall_s=p.record.run_s,
+            workers=[],
+            mapping=SEQUENTIAL_MAPPING,
+            problem=p.entry.pattern_id,
+        )
+        metrics.extra["service"] = {
+            "job_id": p.record.job_id,
+            "cache": p.record.cache,
+            "batch_size": p.record.batch_size,
+            "queue_wait_s": p.record.queue_wait_s,
+            "outcome": p.record.outcome,
+        }
+        result = JobResult(
+            job_id=p.queued.job.job_id,
+            pattern_id=p.entry.pattern_id,
+            cache=p.record.cache,
+            L=L,
+            perm=p.entry.perm,
+            factor=factor,
+            metrics=metrics,
+            record=p.record,
+        )
+        self.metrics.add(p.record)
+        self._retire(p.queued.job.job_id, result)
+        p.queued.handle.set_result(result)
+
+    def _finish_expired(self, queued, record: JobRecord) -> None:
+        record.status = "expired"
+        record.error = (
+            f"deadline of {queued.job.deadline_s}s exceeded"
+        )
+        self._finish_failed(
+            queued,
+            DeadlineExceeded(
+                f"job {queued.job.job_id!r} missed its "
+                f"{queued.job.deadline_s}s deadline"
+            ),
+            record,
+        )
 
     # -- pattern resolution --------------------------------------------
     def _resolve_entry(self, job: FactorJob, record: JobRecord, protect):
@@ -418,6 +712,19 @@ class FactorService:
         return permute_spd(A_full, entry.perm).data
 
     # -- completion -----------------------------------------------------
+    def _retire(self, job_id: str, result: JobResult | None = None) -> None:
+        """Retire a job from the dedup registry. Successful results are
+        kept (bounded LRU) so a late idempotent retry of the same job_id
+        gets the answer instead of a re-run; failures are dropped so a
+        retry re-runs the job."""
+        with self._dedup_lock:
+            self._outstanding.pop(job_id, None)
+            if result is not None and self._dedup_capacity:
+                self._completed[job_id] = result
+                self._completed.move_to_end(job_id)
+                while len(self._completed) > self._dedup_capacity:
+                    self._completed.popitem(last=False)
+
     def _finish_job(self, queued, entry, record, outcome) -> None:
         if not outcome.ok:
             detail = outcome.error or "aborted"
@@ -462,6 +769,7 @@ class FactorService:
             record=record,
         )
         self.metrics.add(record)
+        self._retire(queued.job.job_id, result)
         queued.handle.set_result(result)
 
     def _validate(self, job, entry: PatternEntry, L) -> None:
@@ -509,6 +817,7 @@ class FactorService:
 
     def _finish_failed(self, queued, exc, record) -> None:
         self.metrics.add(record)
+        self._retire(queued.job.job_id)
         queued.handle.set_exception(exc)
 
     def _finish_rejected(self, queued, exc, status: str) -> None:
@@ -516,6 +825,7 @@ class FactorService:
             job_id=queued.job.job_id, status=status, error=str(exc)
         )
         self.metrics.add(record)
+        self._retire(queued.job.job_id)
         queued.handle.set_exception(exc)
 
     def _release_evictions(self) -> None:

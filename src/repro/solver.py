@@ -100,6 +100,10 @@ class SparseCholesky:
         Block payload transport for the ``"mp"`` backend: ``"auto"``
         (default — shared-memory arena when available), ``"shm"``, or
         ``"inline"``. See :func:`repro.runtime.engine.run_mp_fanout`.
+    deadline_s:
+        Per-job end-to-end budget for the ``"service"`` backend. Past
+        it, :meth:`factor` raises the typed
+        :class:`repro.service.DeadlineExceeded` — never hangs.
 
     The ownership plan for the ``"mp"`` backend is computed once per
     ``(P, mapping, use_domains)`` and cached on the instance, so repeated
@@ -122,6 +126,7 @@ class SparseCholesky:
         trace: bool | int | None = None,
         transport: str = "auto",
         service=None,
+        deadline_s: float | None = None,
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
@@ -153,6 +158,11 @@ class SparseCholesky:
                 "service=FactorService(...) or a connected ServiceClient"
             )
         self.service = service
+        #: Per-job deadline budget forwarded to the ``"service"`` backend
+        #: (seconds from submission; None = unbounded). Past it,
+        #: :meth:`factor` raises the typed
+        #: :class:`repro.service.DeadlineExceeded` instead of hanging.
+        self.deadline_s = deadline_s
         #: Memoized ``(P, mapping, use_domains) -> (owners, name)`` plans.
         self._plan_cache: dict = {}
         #: Observable plan reuse: how often :meth:`_plan` served a
@@ -290,7 +300,7 @@ class SparseCholesky:
         through it, so the service may be configured with a different
         ordering than this instance.
         """
-        result = self.service.factor(A=self.A)
+        result = self.service.factor(A=self.A, deadline_s=self.deadline_s)
         self._numeric = getattr(result, "factor", None)
         self._L = result.L
         self._solve_perm = np.asarray(result.perm)
@@ -299,6 +309,17 @@ class SparseCholesky:
         #: Service-side pattern handle + timing record of the last job.
         self.service_pattern_id = result.pattern_id
         self.service_record = result.record
+        #: How the service survived this job: ``"clean"``,
+        #: ``"recovered"`` (re-run after a pool heal), or
+        #: ``"degraded_sequential"`` (sequential fallback — still
+        #: bitwise-identical to the parallel factor).
+        record = result.record
+        if record is None:
+            self.service_outcome = None
+        elif isinstance(record, dict):
+            self.service_outcome = record.get("outcome")
+        else:
+            self.service_outcome = getattr(record, "outcome", None)
         return self
 
     @property
