@@ -14,11 +14,17 @@ Methodology notes (see docs/PERFORMANCE.md):
   measure time-sliced, not parallel, execution);
 * each result row carries its ``transport`` and both byte counters:
   ``bytes`` (logical — what the static predictor charges) and
-  ``wire_bytes`` (actually transported; 64 per data message on shm).
+  ``wire_bytes`` (actually transported; 64 per data message on shm);
+* the ``--schedules`` sweep runs each configuration under the static
+  owner-computes map and the dynamic work-stealing schedule; rows carry
+  ``schedule``, trace-free idle time (``idle_s``) and the migration
+  counters (``tasks_migrated``, ``steal_bytes``) so the static-vs-dynamic
+  comparison is honest about what stealing bought and what it cost.
 
 Usage: python scripts/bench_runtime.py [--scale small|medium|paper]
        [--problems GRID150,BCSSTK15] [--nprocs 2,4] [--repeat 3]
-       [--transports inline,shm] [--out BENCH_runtime.json]
+       [--transports inline,shm] [--schedules static,dynamic]
+       [--out BENCH_runtime.json]
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ def affinity_cpus() -> int | None:
 def bench_one(
     prep, nprocs: int, mapping: str, transport: str, repeats: int,
     oversubscribed: bool, trace_out: str | None = None,
+    schedule: str = "static",
 ) -> dict:
     owners, name = plan_owners(prep.workmodel, prep.taskgraph, nprocs, mapping)
     best = None
@@ -63,13 +70,13 @@ def bench_one(
         res = run_mp_fanout(
             prep.structure, prep.symbolic.A, prep.taskgraph, owners, nprocs,
             mapping=name, record_timeline=False, trace=bool(trace_out),
-            transport=transport,
+            transport=transport, schedule=schedule,
         )
         if best is None or res.metrics.wall_s < best.metrics.wall_s:
             best = res
     if trace_out and best.trace is not None:
         slug = (f"{prep.name}.p{nprocs}.{name.replace('/', '-').lower()}"
-                f".{best.metrics.transport}")
+                f".{best.metrics.transport}.{schedule}")
         root, dot, ext = trace_out.rpartition(".")
         path = f"{root}.{slug}.{ext}" if dot else f"{trace_out}.{slug}"
         best.trace.meta["problem"] = prep.name
@@ -82,6 +89,7 @@ def bench_one(
         "mapping": name,
         "nprocs": nprocs,
         "transport": met.transport,
+        "schedule": met.schedule,
         "oversubscribed": oversubscribed,
         "repeats": repeats,
         "wall_s": met.wall_s,
@@ -93,6 +101,10 @@ def bench_one(
         "work_imbalance": met.work_imbalance,
         "measured_balance": met.measured_balance,
         "busy_imbalance": met.imbalance,
+        "idle_s": met.idle_total_s,
+        "tasks_migrated": met.tasks_stolen_total,
+        "steal_requests": met.steal_reqs_total,
+        "steal_bytes": met.steal_bytes_total,
         "per_worker_busy_s": [w.busy_s for w in met.workers],
         "per_worker_work": [w.work_executed for w in met.workers],
     }
@@ -112,6 +124,9 @@ def main(argv=None) -> int:
                     help="comma-separated transports to sweep "
                          "(default: inline,shm when shared memory is "
                          "available, else inline)")
+    ap.add_argument("--schedules", default="static,dynamic",
+                    help="comma-separated execution schedules to sweep "
+                         "(static, dynamic)")
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     ))
@@ -128,6 +143,10 @@ def main(argv=None) -> int:
                       if t.strip()]
     else:
         transports = ["inline", "shm"] if shm_available() else ["inline"]
+    schedules = [s.strip() for s in args.schedules.split(",") if s.strip()]
+    for s in schedules:
+        if s not in ("static", "dynamic"):
+            ap.error(f"unknown schedule {s!r}")
 
     affinity = affinity_cpus()
     usable = affinity if affinity is not None else os.cpu_count()
@@ -141,6 +160,7 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "affinity_cpus": affinity,
         "transports": transports,
+        "schedules": schedules,
         # Top-level oversubscription verdict: True when ANY benched
         # configuration ran more workers than affinity-visible CPUs.
         # Consumers must check this before reading wall-clock "speedups"
@@ -170,26 +190,30 @@ def main(argv=None) -> int:
             over = usable is not None and nprocs > usable
             for mapping in MAPPINGS:
                 for transport in transports:
-                    r = bench_one(
-                        prep, nprocs, mapping, transport, args.repeats,
-                        oversubscribed=over, trace_out=args.trace_out,
-                    )
-                    entry["results"].append(r)
-                    print(
-                        f"{prep.name:<10s} P={nprocs} {r['mapping']:<8s} "
-                        f"{r['transport']:<6s} "
-                        f"wall={r['wall_s'] * 1e3:8.1f} ms "
-                        f"work_imbalance={r['work_imbalance']:.3f} "
-                        f"msgs={r['messages']} "
-                        f"wire={r['wire_bytes'] / 1e6:.2f} MB"
-                        + (" [oversubscribed]" if over else "")
-                    )
+                    for schedule in schedules:
+                        r = bench_one(
+                            prep, nprocs, mapping, transport, args.repeats,
+                            oversubscribed=over, trace_out=args.trace_out,
+                            schedule=schedule,
+                        )
+                        entry["results"].append(r)
+                        print(
+                            f"{prep.name:<10s} P={nprocs} {r['mapping']:<8s} "
+                            f"{r['transport']:<6s} {r['schedule']:<7s} "
+                            f"wall={r['wall_s'] * 1e3:8.1f} ms "
+                            f"idle={r['idle_s'] * 1e3:7.1f} ms "
+                            f"work_imbalance={r['work_imbalance']:.3f} "
+                            f"msgs={r['messages']} "
+                            f"steals={r['tasks_migrated']} "
+                            f"wire={r['wire_bytes'] / 1e6:.2f} MB"
+                            + (" [oversubscribed]" if over else "")
+                        )
         # The paper's headline, measured on real execution.
         for nprocs in nprocs_list:
-            rs = {(r["mapping"], r["transport"]): r
+            rs = {(r["mapping"], r["transport"], r["schedule"]): r
                   for r in entry["results"] if r["nprocs"] == nprocs}
-            cyc = rs.get(("cyclic", transports[0]))
-            dw = rs.get(("DW/CY", transports[0]))
+            cyc = rs.get(("cyclic", transports[0], schedules[0]))
+            dw = rs.get(("DW/CY", transports[0], schedules[0]))
             if cyc and dw:
                 print(
                     f"  -> P={nprocs}: DW work_imbalance "
@@ -199,8 +223,8 @@ def main(argv=None) -> int:
                 )
             # The transport headline: shm vs inline wall time per mapping.
             for mapping in MAPPINGS:
-                a = rs.get((mapping, "inline"))
-                b = rs.get((mapping, "shm"))
+                a = rs.get((mapping, "inline", schedules[0]))
+                b = rs.get((mapping, "shm", schedules[0]))
                 if a and b:
                     speedup = a["wall_s"] / b["wall_s"] if b["wall_s"] else 0
                     print(
@@ -210,6 +234,22 @@ def main(argv=None) -> int:
                         f"({speedup:.2f}x, wire bytes "
                         f"{b['wire_bytes']} vs {a['wire_bytes']})"
                     )
+            # The scheduling headline: dynamic vs static idle time per
+            # mapping on the first transport.
+            if "static" in schedules and "dynamic" in schedules:
+                for mapping in MAPPINGS:
+                    st = rs.get((mapping, transports[0], "static"))
+                    dy = rs.get((mapping, transports[0], "dynamic"))
+                    if st and dy:
+                        print(
+                            f"  -> P={nprocs} {mapping}: dynamic idle "
+                            f"{dy['idle_s'] * 1e3:.1f} ms vs static "
+                            f"{st['idle_s'] * 1e3:.1f} ms "
+                            f"({dy['tasks_migrated']} migrations, "
+                            f"{dy['steal_bytes'] / 1e3:.1f} kB steal "
+                            f"traffic; wall {dy['wall_s'] * 1e3:.1f} vs "
+                            f"{st['wall_s'] * 1e3:.1f} ms)"
+                        )
         report["runs"].append(entry)
 
     with open(args.out, "w") as fh:

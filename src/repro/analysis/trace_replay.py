@@ -23,6 +23,15 @@ the per-rank work and the processor grid recorded in the trace metadata.
   :func:`~repro.analysis.comm_volume.communication_volume`, and the
   replayed overall balance matches
   :func:`~repro.mapping.balance.overall_balance_from_owners` to 1e-9.
+
+Work stealing (``schedule="dynamic"``) is reconciled exactly, not
+waived: a stolen task's span carries a ``stolen_from`` arg, so the replay
+splits executed work into owned and migrated portions per worker and
+checks the *migration-adjusted* identity
+``executed - migrated_in + migrated_away == WorkModel owner share``
+to the integer. Steal protocol time lands in ``"steal"`` spans (bucketed
+as comm), giving the static-vs-dynamic idle/overhead comparison its
+denominators.
 """
 
 from __future__ import annotations
@@ -69,8 +78,31 @@ class TraceReplay:
     retransmits: np.ndarray
     duplicates: np.ndarray
     marks: dict[str, int]
+    #: Work stealing (zero everywhere on static runs): time spent in the
+    #: steal protocol (part of comm), per-worker migrated task/work flows
+    #: (``in`` = executed here for another owner, ``away`` = granted to a
+    #: thief), and the protocol frame counts.
+    steal_s: np.ndarray = None
+    migrated_in_tasks: np.ndarray = None
+    migrated_away_tasks: np.ndarray = None
+    migrated_in_work: np.ndarray = None
+    migrated_away_work: np.ndarray = None
+    steal_reqs: np.ndarray = None
+    steal_grants: np.ndarray = None
+    steal_denies: np.ndarray = None
 
     # ------------------------------------------------------------------
+    @property
+    def migrated(self) -> bool:
+        """True when any task ran away from its owner (dynamic schedule)."""
+        return bool(self.migrated_in_tasks.sum())
+
+    @property
+    def owner_work(self) -> np.ndarray:
+        """Migration-adjusted work: what each worker's *owned* tasks cost,
+        wherever they ran — equals the static WorkModel share exactly."""
+        return self.work - self.migrated_in_work + self.migrated_away_work
+
     @property
     def measured_balance(self) -> float:
         """Balance of replayed busy seconds."""
@@ -160,6 +192,14 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
     retrans = np.zeros(nprocs, dtype=np.int64)
     dups = np.zeros(nprocs, dtype=np.int64)
     marks: dict[str, int] = {}
+    steal_s = np.zeros(nprocs)
+    mig_in_t = np.zeros(nprocs, dtype=np.int64)
+    mig_away_t = np.zeros(nprocs, dtype=np.int64)
+    mig_in_w = np.zeros(nprocs, dtype=np.int64)
+    mig_away_w = np.zeros(nprocs, dtype=np.int64)
+    sreqs = np.zeros(nprocs, dtype=np.int64)
+    sgrants = np.zeros(nprocs, dtype=np.int64)
+    sdenies = np.zeros(nprocs, dtype=np.int64)
 
     for e in trace.events:
         if e.attempt != attempt:
@@ -172,8 +212,16 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
             if kind in task_counts[r]:
                 task_counts[r][kind] += 1
             if e.args:
-                work[r] += int(e.args.get("work", 0))
+                w = int(e.args.get("work", 0))
+                work[r] += w
                 flops[r] += int(e.args.get("flops", 0))
+                victim = e.args.get("stolen_from")
+                if victim is not None:
+                    mig_in_t[r] += 1
+                    mig_in_w[r] += w
+                    if 0 <= int(victim) < nprocs:
+                        mig_away_t[int(victim)] += 1
+                        mig_away_w[int(victim)] += w
         elif e.cat == "send":
             comm[r] += e.t1 - e.t0
             if e.args:
@@ -193,6 +241,15 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
                 dups[r] += 1
         elif e.cat == "comm":
             comm[r] += e.t1 - e.t0
+        elif e.cat == "steal":
+            comm[r] += e.t1 - e.t0
+            steal_s[r] += e.t1 - e.t0
+            if e.name == "steal_req":
+                sreqs[r] += 1
+            elif e.name == "steal_grant":
+                sgrants[r] += 1
+            elif e.name == "steal_deny":
+                sdenies[r] += 1
         elif e.cat == "idle":
             idle[r] += e.t1 - e.t0
         elif e.cat == "mark":
@@ -213,6 +270,10 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
         messages_received=mrecv, bytes_received=brecv,
         wire_bytes_sent=wsent, wire_bytes_received=wrecv,
         retransmits=retrans, duplicates=dups, marks=marks,
+        steal_s=steal_s,
+        migrated_in_tasks=mig_in_t, migrated_away_tasks=mig_away_t,
+        migrated_in_work=mig_in_w, migrated_away_work=mig_away_w,
+        steal_reqs=sreqs, steal_grants=sgrants, steal_denies=sdenies,
     )
 
 
@@ -245,6 +306,15 @@ class TraceValidationReport:
             lines.append(
                 f"  row={rep.row_balance:.4f} col={rep.column_balance:.4f} "
                 f"diag={'n/a' if diag is None else f'{diag:.4f}'}"
+            )
+        if rep.migrated:
+            lines.append(
+                f"  steals: {int(rep.migrated_in_tasks.sum())} tasks "
+                f"({int(rep.migrated_in_work.sum())} work) migrated, "
+                f"{int(rep.steal_reqs.sum())} requests / "
+                f"{int(rep.steal_grants.sum())} grants / "
+                f"{int(rep.steal_denies.sum())} denies, "
+                f"overhead {rep.steal_s.sum():.4f}s"
             )
         lines.extend(f"  pass: {c}" for c in self.checks)
         lines.extend(f"  FAIL: {f}" for f in self.failures)
@@ -402,6 +472,31 @@ def validate_trace(
                         f"{int(rep.wire_bytes_received[r])} != metrics "
                         f"{wsent}/{wrecv}"
                     )
+                # Migration accounting reconciles exactly: the thief's
+                # stolen spans and the victims they name must match both
+                # sides' steal tallies task for task, work unit for work
+                # unit.
+                for label, got, want in (
+                    ("steal requests", rep.steal_reqs[r],
+                     getattr(w, "steal_reqs_sent", 0)),
+                    ("steal grants", rep.steal_grants[r],
+                     getattr(w, "steal_grants", 0)),
+                    ("steal denies", rep.steal_denies[r],
+                     getattr(w, "steal_denies", 0)),
+                    ("tasks stolen", rep.migrated_in_tasks[r],
+                     getattr(w, "tasks_stolen", 0)),
+                    ("tasks shipped", rep.migrated_away_tasks[r],
+                     getattr(w, "tasks_shipped", 0)),
+                    ("work stolen", rep.migrated_in_work[r],
+                     getattr(w, "work_stolen", 0)),
+                    ("work shipped", rep.migrated_away_work[r],
+                     getattr(w, "work_shipped", 0)),
+                ):
+                    if int(got) != int(want):
+                        failures.append(
+                            f"worker {r}: replayed {label} {int(got)} "
+                            f"!= metrics {int(want)}"
+                        )
         if abs(rep.measured_balance - metrics.measured_balance) > tolerance:
             failures.append(
                 f"replayed measured balance {rep.measured_balance!r} != "
@@ -424,10 +519,20 @@ def validate_trace(
         work_pred = np.bincount(
             owners, weights=wm.work, minlength=rep.nprocs
         ).astype(np.int64)
-        if not np.array_equal(rep.work, work_pred):
+        # Under work stealing a worker's *executed* work legitimately
+        # differs from its owner share; the migration-adjusted identity
+        # (executed - stolen in + shipped away) must still hold exactly.
+        work_adj = rep.owner_work
+        if not np.array_equal(work_adj, work_pred):
             failures.append(
-                "replayed per-worker work differs from the WorkModel "
-                f"share by up to {np.abs(rep.work - work_pred).max()}"
+                "replayed per-worker work (migration-adjusted) differs "
+                "from the WorkModel share by up to "
+                f"{np.abs(work_adj - work_pred).max()}"
+            )
+        elif rep.migrated:
+            checks.append(
+                "migration-adjusted per-worker work equals the "
+                "WorkModel share exactly"
             )
         else:
             checks.append("per-worker work equals the WorkModel share")
@@ -445,7 +550,23 @@ def validate_trace(
         else:
             checks.append("message counts/bytes equal comm_volume")
         bal_pred = overall_balance_from_owners(wm, owners, rep.nprocs)
-        if abs(rep.work_balance - bal_pred) > tolerance:
+        # The owner-share balance prediction applies to the realized work
+        # only when no work migrated; under stealing the adjusted work
+        # identity above already pins every owner share exactly, and the
+        # realized balance is reported rather than asserted.
+        if rep.migrated:
+            adj_bal = _balance(work_adj.astype(float))
+            if abs(adj_bal - bal_pred) > tolerance:
+                failures.append(
+                    f"migration-adjusted balance {adj_bal:.12f} != "
+                    f"WorkModel prediction {bal_pred:.12f}"
+                )
+            else:
+                checks.append(
+                    "owner-share balance matches the WorkModel under "
+                    "migration"
+                )
+        elif abs(rep.work_balance - bal_pred) > tolerance:
             failures.append(
                 f"replayed overall balance {rep.work_balance:.12f} != "
                 f"WorkModel prediction {bal_pred:.12f}"

@@ -120,6 +120,16 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _usable_cpus() -> int | None:
+    """CPUs this process may actually run on (affinity beats count)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count()
+
+
 def cmd_bench_real(args) -> int:
     import json
 
@@ -139,66 +149,105 @@ def cmd_bench_real(args) -> int:
         print("transport=shm requested but shared memory is unavailable "
               "on this platform; skipping")
         return 0
+    usable = _usable_cpus()
+    if usable is not None and args.nprocs > usable:
+        # Same honesty policy as scripts/bench_runtime.py: oversubscribed
+        # wall clocks measure time-slicing, not parallel speedup.
+        print(f"WARNING: running {args.nprocs} workers on {usable} "
+              f"affinity-visible CPUs — oversubscribed wall clocks "
+              f"measure time-sliced execution, not parallel speedup",
+              file=sys.stderr)
     prep = prepare_problem(args.problem, args.scale, args.block_size)
     mappings = [m.strip() for m in args.mappings.split(",") if m.strip()]
+    schedules = (
+        ["static", "dynamic"] if args.schedule == "both"
+        else [args.schedule]
+    )
     policy = None if args.policy == "fifo" else args.policy
     runs = {}
+    multi = len(mappings) * len(schedules) > 1
     for mapping in mappings:
         owners, name = plan_owners(
             prep.workmodel, prep.taskgraph, args.nprocs, mapping,
             use_domains=args.domains,
         )
-        res = run_mp_fanout(
-            prep.structure, prep.symbolic.A, prep.taskgraph, owners,
-            args.nprocs, policy=policy, mapping=name,
-            timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
-            trace=bool(args.trace_out), transport=transport,
-        )
-        met = res.metrics
-        met.problem = prep.name
-        runs[mapping] = res
-        predicted = communication_volume(prep.taskgraph, owners)
-        L = res.to_csc()
-        resid = abs(L @ L.T - prep.symbolic.A).max()
-        print(f"{prep.name} on {args.nprocs} workers ({name}):")
-        print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms")
-        print(f"  |L L^T - A|_max : {resid:.3e}")
-        print(f"  balance         : measured {met.measured_balance:.3f} "
-              f"(busy time), work {met.work_balance:.3f}")
-        print(f"  imbalance       : max/mean busy {met.imbalance:.3f}, "
-              f"work {met.work_imbalance:.3f}")
-        print(f"  messages        : {met.messages_total} measured / "
-              f"{predicted.messages} predicted "
-              f"({met.bytes_total / 1e6:.2f} MB)")
-        print(f"  transport       : {met.transport} "
-              f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
-        print("  per-worker breakdown:")
-        print("    " + met.render().replace("\n", "\n    "))
-        if args.validate:
-            rep = validate_runtime(
-                prep.structure, prep.symbolic.A, prep.taskgraph,
-                problem=prep.name, result=res, strict=False,
+        for schedule in schedules:
+            res = run_mp_fanout(
+                prep.structure, prep.symbolic.A, prep.taskgraph, owners,
+                args.nprocs, policy=policy, mapping=name,
+                timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
+                trace=bool(args.trace_out), transport=transport,
+                schedule=schedule, steal_seed=args.steal_seed,
             )
-            print("  " + rep.summary().replace("\n", "\n  "))
-            if not rep.ok:
-                return 1
-        if args.trace_out and res.trace is not None:
-            path = _trace_path(args.trace_out, mapping, len(mappings) > 1)
-            res.trace.meta["problem"] = prep.name
-            res.trace.dump(path)
-            print(f"  trace ({len(res.trace.events)} events) written to "
-                  f"{path}")
-        print()
+            met = res.metrics
+            met.problem = prep.name
+            label = (
+                mapping if len(schedules) == 1 else f"{mapping}:{schedule}"
+            )
+            runs[label] = res
+            predicted = communication_volume(prep.taskgraph, owners)
+            L = res.to_csc()
+            resid = abs(L @ L.T - prep.symbolic.A).max()
+            print(f"{prep.name} on {args.nprocs} workers ({name}, "
+                  f"schedule={schedule}):")
+            print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms")
+            print(f"  |L L^T - A|_max : {resid:.3e}")
+            print(f"  balance         : measured {met.measured_balance:.3f} "
+                  f"(busy time), work {met.work_balance:.3f}")
+            print(f"  imbalance       : max/mean busy {met.imbalance:.3f}, "
+                  f"work {met.work_imbalance:.3f}")
+            print(f"  messages        : {met.messages_total} measured / "
+                  f"{predicted.messages} predicted "
+                  f"({met.bytes_total / 1e6:.2f} MB)")
+            print(f"  transport       : {met.transport} "
+                  f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
+            if schedule == "dynamic":
+                print(f"  stealing        : {met.tasks_stolen_total} "
+                      f"migrations / {met.steal_reqs_total} requests "
+                      f"({met.steal_bytes_total / 1e3:.1f} kB steal "
+                      f"traffic); idle {met.idle_total_s * 1e3:.1f} ms")
+            print("  per-worker breakdown:")
+            print("    " + met.render().replace("\n", "\n    "))
+            if args.validate:
+                rep = validate_runtime(
+                    prep.structure, prep.symbolic.A, prep.taskgraph,
+                    problem=prep.name, result=res, strict=False,
+                )
+                print("  " + rep.summary().replace("\n", "\n  "))
+                if not rep.ok:
+                    return 1
+            if args.trace_out and res.trace is not None:
+                path = _trace_path(args.trace_out, label, multi)
+                res.trace.meta["problem"] = prep.name
+                res.trace.dump(path)
+                print(f"  trace ({len(res.trace.events)} events) written "
+                      f"to {path}")
+            print()
     if len(runs) > 1:
         print("mapping comparison (work imbalance, lower is better):")
-        for mapping, res in sorted(
+        for label, res in sorted(
             runs.items(), key=lambda kv: kv[1].metrics.work_imbalance
         ):
             met = res.metrics
-            print(f"  {met.mapping:<10s} work_imbalance="
+            print(f"  {label:<18s} work_imbalance="
                   f"{met.work_imbalance:.3f} "
                   f"measured_balance={met.measured_balance:.3f} "
                   f"wall={met.wall_s * 1e3:.1f} ms")
+    if len(schedules) == 2:
+        print("schedule comparison (dynamic vs static):")
+        for mapping in mappings:
+            st = runs.get(f"{mapping}:static")
+            dy = runs.get(f"{mapping}:dynamic")
+            if st is None or dy is None:
+                continue
+            same = (abs(dy.to_csc() - st.to_csc()).max() == 0.0)
+            sm, dm = st.metrics, dy.metrics
+            print(f"  {mapping:<10s} idle {dm.idle_total_s * 1e3:.1f} ms "
+                  f"vs {sm.idle_total_s * 1e3:.1f} ms static, "
+                  f"wall {dm.wall_s * 1e3:.1f} vs "
+                  f"{sm.wall_s * 1e3:.1f} ms, "
+                  f"{dm.tasks_stolen_total} migrations, factors "
+                  f"{'bitwise identical' if same else 'DIFFER'}")
     if args.json:
         payload = {m: r.metrics.to_dict() for m, r in runs.items()}
         with open(args.json, "w") as fh:
@@ -212,7 +261,7 @@ def _trace_path(base: str, mapping: str, multi: bool) -> str:
     filesystem-safe mapping slug is inserted before the extension."""
     if not multi:
         return base
-    slug = mapping.replace("/", "-").lower()
+    slug = mapping.replace("/", "-").replace(":", ".").lower()
     root, dot, ext = base.rpartition(".")
     if not dot:
         return f"{base}.{slug}"
@@ -266,7 +315,8 @@ def cmd_chaos(args) -> int:
     failures = 0
     payload = {}
     print(f"chaos sweep on {prep.name} (seed={args.seed}, "
-          f"rate={args.rate}, scenarios={len(names)} x P={procs})")
+          f"rate={args.rate}, schedule={getattr(args, 'schedule', 'static')}, "
+          f"scenarios={len(names)} x P={procs})")
     for P in procs:
         for name in names:
             plan = FaultPlan.scenario(
@@ -280,6 +330,7 @@ def cmd_chaos(args) -> int:
                 renegotiate_base_s=0.05, renegotiate_cap_s=0.5,
                 max_renegotiations=6, dead_grace_s=5.0,
                 transport=getattr(args, "transport", "auto"),
+                schedule=getattr(args, "schedule", "static"),
             )
             rep = res.failure_report
             L = res.to_csc()
@@ -325,6 +376,8 @@ def _service_from_args(args, **extra):
         block_size=args.block_size,
         mapping=args.mapping,
         transport=args.transport,
+        schedule=getattr(args, "schedule", "static"),
+        steal_seed=getattr(args, "steal_seed", 0),
         queue_capacity=args.queue_capacity,
         admission=args.admission,
         max_batch=args.max_batch,
@@ -358,6 +411,11 @@ def _add_service_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mapping", default="DW/CY")
     p.add_argument("--transport", default="auto",
                    choices=("auto", "shm", "inline"))
+    p.add_argument("--schedule", default="static",
+                   choices=("static", "dynamic"),
+                   help="execution schedule inside the worker pool")
+    p.add_argument("--steal-seed", type=int, default=0,
+                   help="victim-selection seed for the dynamic schedule")
     p.add_argument("--queue-capacity", type=int, default=64,
                    help="admission queue bound")
     p.add_argument("--admission", default="block",
@@ -841,6 +899,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="block payload transport: shared-memory arena "
                         "with 64-byte descriptors, inline frame bytes, "
                         "or auto-detect")
+    p.add_argument("--schedule", default="static",
+                   choices=("static", "dynamic", "both"),
+                   help="execution schedule: the static owner-computes "
+                        "map, dynamic work stealing, or 'both' to run "
+                        "each mapping under both and compare")
+    p.add_argument("--steal-seed", type=int, default=0,
+                   help="victim-selection seed for the dynamic schedule")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write per-mapping metrics JSON to PATH")
     p.add_argument("--trace-out", default=None, metavar="PATH",
@@ -874,6 +939,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transport", default="auto",
                    choices=("auto", "shm", "inline"),
                    help="block payload transport for the chaos runs")
+    p.add_argument("--schedule", default="static",
+                   choices=("static", "dynamic"),
+                   help="execution schedule for the chaos runs")
     p.add_argument("--max-restarts", type=int, default=2,
                    help="restart budget before the sequential fallback")
     p.add_argument("--timeout", type=float, default=120.0, metavar="S",

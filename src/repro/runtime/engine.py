@@ -143,8 +143,19 @@ def run_mp_fanout(
     max_renegotiations: int = 8,
     retransmit_limit: int = 5,
     transport: str = "auto",
+    schedule: str = "static",
+    steal_seed: int = 0,
 ) -> MPRuntimeResult:
     """Factor ``A`` with ``nprocs`` worker processes exchanging messages.
+
+    ``schedule`` selects the execution discipline: ``"static"`` (the
+    default) runs every task at its block's owner exactly as mapped;
+    ``"dynamic"`` adds work stealing — an idle worker requests a ready
+    BMOD/BDIV task from a seeded-random peer, executes it against the
+    shipped destination-block state, and returns the result, so transient
+    load imbalance converts to steal traffic instead of idle time while
+    the factor stays bitwise identical (see ``docs/SCHEDULING.md``).
+    ``steal_seed`` keys the deterministic victim-selection stream.
 
     ``transport`` selects how block payloads travel: ``"inline"`` packs
     them into the queue frames; ``"shm"`` moves them through a per-run
@@ -187,6 +198,10 @@ def run_mp_fanout(
         raise ValueError("nprocs must be positive")
     if owners.size and (owners.min() < 0 or owners.max() >= nprocs):
         raise ValueError("block owner out of range for nprocs")
+    if schedule not in ("static", "dynamic"):
+        raise ValueError(
+            f"schedule must be 'static' or 'dynamic', got {schedule!r}"
+        )
     if priorities is None and policy not in (None, "fifo"):
         priorities = task_priorities(tg, policy, depth=depth)
     if recovery is None:
@@ -215,7 +230,7 @@ def run_mp_fanout(
             trace_capacity, start_method, mapping, fault_plan, recovery,
             checkpoint, dead_grace_s, renegotiate_base_s,
             renegotiate_cap_s, max_renegotiations, retransmit_limit,
-            transport, arena,
+            transport, arena, schedule, steal_seed,
         )
     except FanoutError as exc:
         if arena is not None:
@@ -232,6 +247,7 @@ def _run(
     trace_capacity, start_method, mapping, fault_plan, recovery,
     checkpoint, dead_grace_s, renegotiate_base_s, renegotiate_cap_s,
     max_renegotiations, retransmit_limit, transport, arena,
+    schedule="static", steal_seed=0,
 ) -> MPRuntimeResult:
     ctx = mp.get_context(start_method)
     fabric = LinkFabric(nprocs, ctx)
@@ -265,6 +281,8 @@ def _run(
             retransmit_limit=retransmit_limit,
             transport=transport,
             arena_name=arena.name if arena is not None else None,
+            schedule=schedule,
+            steal_seed=steal_seed,
         )
         p = ctx.Process(
             target=worker_main, args=(rank, kwargs), name=f"repro-mp-{rank}"
@@ -338,11 +356,12 @@ def _run(
         workers=[results[r].metrics for r in sorted(results)],
         mapping=mapping,
         transport=transport,
+        schedule=schedule,
     )
     run_trace = None
     if trace_capacity:
         run_trace = _merge_trace(results, nprocs, mapping, start_method,
-                                 fault_plan, wall_s)
+                                 fault_plan, wall_s, schedule)
     return MPRuntimeResult(
         factor=factor,
         metrics=metrics,
@@ -353,6 +372,7 @@ def _run(
             "recovery": recovery,
             "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
             "transport": transport,
+            "schedule": schedule,
         },
         trace=run_trace,
     )
@@ -367,7 +387,7 @@ def _runtime_grid(nprocs: int):
 
 
 def _merge_trace(results, nprocs, mapping, start_method, fault_plan,
-                 wall_s=None) -> RunTrace:
+                 wall_s=None, schedule="static") -> RunTrace:
     """Merge worker ring snapshots into one :class:`RunTrace`."""
     grid = _runtime_grid(nprocs)
     attempt = int(fault_plan.attempt) if fault_plan is not None else 0
@@ -377,6 +397,7 @@ def _merge_trace(results, nprocs, mapping, start_method, fault_plan,
         "grid": [int(grid.Pr), int(grid.Pc)],
         "start_method": start_method,
         "attempt": attempt,
+        "schedule": schedule,
     }
     if wall_s is not None:
         meta["wall_s"] = wall_s

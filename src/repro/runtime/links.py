@@ -44,7 +44,8 @@ class Link:
     """
 
     __slots__ = ("src", "dst", "queue", "messages", "bytes", "wire_bytes",
-                 "control_messages", "retransmits", "coalesce", "_pending")
+                 "control_messages", "retransmits", "steal_messages",
+                 "steal_bytes", "coalesce", "_pending")
 
     def __init__(self, src: int, dst: int, queue):
         self.src = src
@@ -55,6 +56,8 @@ class Link:
         self.wire_bytes = 0
         self.control_messages = 0
         self.retransmits = 0
+        self.steal_messages = 0
+        self.steal_bytes = 0
         self.coalesce = False
         self._pending: list[bytes] = []
 
@@ -88,6 +91,19 @@ class Link:
         self.flush_pending()
         self.queue.put(frame)
         self.control_messages += 1
+
+    def send_steal(self, frame: bytes) -> None:
+        """Put one work-stealing frame (REQ/GRANT/DENY/SHIP/RESULT) on
+        the link. Stealing rides a *reliable* plane outside the data
+        ledgers: it is never coalesced, never fault-injected (the kinds
+        are outside ``wire.DATA_KINDS``), and counted in its own steal
+        ledger so ``messages``/``bytes`` keep reconciling exactly with
+        the static communication-volume predictor. Flushes coalesced
+        data first so a grant never overtakes the blocks it refers to."""
+        self.flush_pending()
+        self.queue.put(frame)
+        self.steal_messages += 1
+        self.steal_bytes += len(frame)
 
     def resend(self, frame: bytes, nbytes: int | None = None) -> None:
         """Retransmit a data frame (recovery path): real traffic, counted

@@ -103,6 +103,35 @@ class WorkerMetrics:
     #: (zero when tracing is off; see :mod:`repro.runtime.trace`).
     trace_events: int = 0
     trace_dropped: int = 0
+    # ------------------------------------------------------------------
+    # Work-stealing counters (``schedule="dynamic"``). All stay zero on a
+    # static-schedule run. ``tasks_executed``/``work_executed`` above
+    # count where tasks *ran* (the thief counts a stolen task), so
+    # ``tasks_stolen``/``work_stolen`` minus ``tasks_shipped``/
+    # ``work_shipped`` is exactly this worker's deviation from its static
+    # owner share — validation reconciles that identity to the integer.
+    # ------------------------------------------------------------------
+    #: STEAL_REQ frames this worker sent as a thief.
+    steal_reqs_sent: int = 0
+    #: STEAL_REQ frames answered as a victim, by outcome.
+    steal_grants: int = 0
+    steal_denies: int = 0
+    #: STEAL_DENY frames received as a thief.
+    steal_denies_received: int = 0
+    #: Tasks executed here but owned elsewhere (thief side).
+    tasks_stolen: int = 0
+    #: Tasks owned here but executed elsewhere (victim side).
+    tasks_shipped: int = 0
+    #: Work-model units migrated in / out with those tasks.
+    work_stolen: int = 0
+    work_shipped: int = 0
+    #: Steal-plane traffic (REQ/GRANT/DENY/SHIP/RESULT frame bytes) —
+    #: kept out of ``messages_*``/``bytes_*`` so the data ledgers stay
+    #: exactly equal to the static communication-volume prediction.
+    steal_messages_sent: int = 0
+    steal_bytes_sent: int = 0
+    steal_messages_received: int = 0
+    steal_bytes_received: int = 0
 
     @property
     def recovery_events(self) -> int:
@@ -147,6 +176,9 @@ class RuntimeMetrics:
     problem: str = ""
     #: Which transport moved block payloads: ``"inline"`` or ``"shm"``.
     transport: str = "inline"
+    #: Scheduling mode: ``"static"`` (owner-mapped task lists) or
+    #: ``"dynamic"`` (ready-queue execution with work stealing).
+    schedule: str = "static"
     #: Free-form annotations carried into the JSON dump (e.g. the solver's
     #: plan-cache counters, the service layer's per-job context).
     extra: dict = field(default_factory=dict)
@@ -200,6 +232,36 @@ class RuntimeMetrics:
     def recovery_events_total(self) -> int:
         """Sum of every worker's integrity/recovery actions."""
         return int(sum(w.recovery_events for w in self.workers))
+
+    @property
+    def steal_reqs_total(self) -> int:
+        return int(sum(w.steal_reqs_sent for w in self.workers))
+
+    @property
+    def steal_grants_total(self) -> int:
+        return int(sum(w.steal_grants for w in self.workers))
+
+    @property
+    def steal_denies_total(self) -> int:
+        return int(sum(w.steal_denies for w in self.workers))
+
+    @property
+    def tasks_stolen_total(self) -> int:
+        return int(sum(w.tasks_stolen for w in self.workers))
+
+    @property
+    def work_stolen_total(self) -> int:
+        return int(sum(w.work_stolen for w in self.workers))
+
+    @property
+    def steal_bytes_total(self) -> int:
+        return int(sum(w.steal_bytes_sent for w in self.workers))
+
+    @property
+    def idle_total_s(self) -> float:
+        """Summed per-worker idle seconds — the quantity dynamic
+        scheduling exists to shrink."""
+        return float(sum(w.idle_s for w in self.workers))
 
     @property
     def faults_injected_total(self) -> dict:
@@ -261,6 +323,7 @@ class RuntimeMetrics:
             "mapping": self.mapping,
             "problem": self.problem,
             "transport": self.transport,
+            "schedule": self.schedule,
             "measured_balance": self.measured_balance,
             "work_balance": self.work_balance,
             "imbalance": self.imbalance,
@@ -274,6 +337,15 @@ class RuntimeMetrics:
                 "frames_rejected": self.frames_rejected_total,
                 "duplicates_dropped": self.duplicates_total,
                 "faults_injected": self.faults_injected_total,
+            },
+            "steals": {
+                "requests": self.steal_reqs_total,
+                "grants": self.steal_grants_total,
+                "denies": self.steal_denies_total,
+                "tasks_migrated": self.tasks_stolen_total,
+                "work_migrated": self.work_stolen_total,
+                "steal_bytes": self.steal_bytes_total,
+                "idle_s": self.idle_total_s,
             },
             "extra": self.extra,
             "workers": [w.to_dict() for w in self.workers],
@@ -291,6 +363,7 @@ class RuntimeMetrics:
             mapping=str(d.get("mapping", "")),
             problem=str(d.get("problem", "")),
             transport=str(d.get("transport", "inline")),
+            schedule=str(d.get("schedule", "static")),
             extra=dict(d.get("extra", {})),
         )
 
@@ -322,5 +395,12 @@ class RuntimeMetrics:
             summary += (
                 f" wire={self.wire_bytes_total / 1e6:.2f} MB "
                 f"[{self.transport}]"
+            )
+        if self.schedule == "dynamic":
+            summary += (
+                f"\nschedule=dynamic steals={self.tasks_stolen_total}"
+                f"/{self.steal_reqs_total} reqs "
+                f"migrated_work={self.work_stolen_total} "
+                f"idle={self.idle_total_s * 1e3:.1f} ms"
             )
         return chart + "\n" + summary

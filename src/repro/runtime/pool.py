@@ -109,6 +109,10 @@ class PatternContext:
     shape: tuple
     arena_name: str | None = None
     op_fixed_cost: int = 1000
+    #: Execution discipline for the pattern's jobs: ``"static"`` or
+    #: ``"dynamic"`` (work stealing; see :mod:`repro.runtime.worker`).
+    schedule: str = "static"
+    steal_seed: int = 0
 
 
 @dataclass
@@ -378,6 +382,8 @@ class _PoolWorker:
             arena=arena,
             inline_gather=True,
             fault_plan=job.fault_plan,
+            schedule=getattr(context, "schedule", "static"),
+            steal_seed=getattr(context, "steal_seed", 0),
         )
         worker.run()
         # DONE announcements consumed mid-job by the Worker count toward
@@ -469,6 +475,10 @@ class WorkerPool:
         if nprocs < 1:
             raise ValueError("nprocs must be positive")
         self.nprocs = nprocs
+        #: The width the pool was configured with. :meth:`heal` shrinks
+        #: :attr:`nprocs` below this after process deaths; :meth:`regrow`
+        #: restores it once the crew is quiescent again.
+        self.configured_nprocs = nprocs
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -574,6 +584,18 @@ class WorkerPool:
         self.close()
         if dead:
             self.nprocs = max(1, self.nprocs - dead)
+        return self.start()
+
+    def regrow(self) -> "WorkerPool":
+        """Restore a healed (shrunken) pool to its configured width with
+        a fresh crew. Safe only between batches — the restart clears
+        ``seen_patterns``, so contexts re-ship lazily and callers re-plan
+        owners for the full width exactly as they re-planned for the
+        shrink. No-op while the pool is already at full width."""
+        if self.nprocs >= self.configured_nprocs:
+            return self
+        self.close()
+        self.nprocs = self.configured_nprocs
         return self.start()
 
     def __enter__(self) -> "WorkerPool":

@@ -58,6 +58,39 @@ class ReadyScheduler:
             return self._fifo.popleft()
         return heapq.heappop(self._heap)[2]
 
+    def steal(self, eligible) -> int | None:
+        """Remove and return the task a thief should get, or None.
+
+        ``eligible`` is a predicate over task ids (the worker grants only
+        BMOD/BDIV tasks). The steal end is the opposite of :meth:`pop`:
+        the FIFO tail under data-driven order, the *worst*-priority entry
+        under a priority discipline — the victim keeps the work it would
+        have run next, the thief takes what would have waited longest.
+        The task stays in ``_seen``, so a redundant wakeup cannot
+        re-enqueue it behind the thief's back.
+        """
+        if self._prio is None:
+            for i in range(len(self._fifo) - 1, -1, -1):
+                tid = self._fifo[i]
+                if eligible(tid):
+                    del self._fifo[i]
+                    return tid
+            return None
+        best = -1
+        for i, entry in enumerate(self._heap):
+            if eligible(entry[2]) and (
+                best < 0 or entry[:2] > self._heap[best][:2]
+            ):
+                best = i
+        if best < 0:
+            return None
+        tid = self._heap[best][2]
+        self._heap[best] = self._heap[-1]
+        self._heap.pop()
+        if best < len(self._heap):
+            heapq.heapify(self._heap)
+        return tid
+
     def __len__(self) -> int:
         return len(self._fifo) if self._prio is None else len(self._heap)
 

@@ -33,6 +33,15 @@ Span categories
     rejected frame (``frame_rejected``, ``undecodable``).
 ``idle``
     One blocking wait on the inbox.
+``steal``
+    Work-stealing protocol handling (``schedule="dynamic"``):
+    ``steal_req`` / ``steal_deny_recv`` on the thief, ``steal_grant`` /
+    ``steal_deny`` / ``steal_result_recv`` on the victim, and
+    ``steal_result`` (execute-and-return bookkeeping) on the thief.
+    Buckets into comm time. A *stolen task's execution* is an ordinary
+    ``task`` span on the thief whose args carry ``stolen_from`` (the
+    owning victim's rank) — replay uses it to reconcile migrated work
+    exactly against the static owner shares.
 
 Instant events (category ``mark``, zero duration) record the fault /
 recovery protocol: ``crash``, ``slow``, ``nack_sent``, ``retransmit``,
@@ -51,19 +60,20 @@ import json
 from dataclasses import dataclass, field
 
 #: Span categories, in the order they map onto the metrics timeline.
-SPAN_CATEGORIES = ("task", "send", "recv", "comm", "idle")
+SPAN_CATEGORIES = ("task", "send", "recv", "comm", "idle", "steal")
 
 #: Instant-event category.
 MARK = "mark"
 
 #: Timeline bucket each span category reconciles into (see
 #: :mod:`repro.analysis.trace_replay`): ``task`` is busy time; ``send``,
-#: ``recv`` and ``comm`` are comm time; ``idle`` is idle time.
+#: ``recv``, ``comm`` and ``steal`` are comm time; ``idle`` is idle time.
 TIMELINE_BUCKET = {
     "task": "busy",
     "send": "comm",
     "recv": "comm",
     "comm": "comm",
+    "steal": "comm",
     "idle": "idle",
 }
 
@@ -368,9 +378,9 @@ class RunTrace:
             f"({'#'} busy, {'~'} comm, {'.'} idle, {'!'} fault/recovery)"
         ]
         prio = {MARK: 3, "task": 2, "send": 1, "recv": 1, "comm": 1,
-                "idle": 0}
+                "steal": 1, "idle": 0}
         glyph = {MARK: "!", "task": "#", "send": "~", "recv": "~",
-                 "comm": "~", "idle": "."}
+                 "comm": "~", "steal": "~", "idle": "."}
         for rank in sorted(lanes):
             best = [-1] * width
             chars = [" "] * width

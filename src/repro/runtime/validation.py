@@ -11,7 +11,11 @@ real execution:
    same ownership.
 3. **Load distribution** — each worker's executed work (flops plus the
    per-operation fixed cost) equals the :class:`~repro.blocks.workmodel.WorkModel`
-   share the mapping heuristics optimized, integer for integer.
+   share the mapping heuristics optimized, integer for integer. Under
+   ``schedule="dynamic"`` the identity is migration-adjusted: executed
+   minus stolen-in plus shipped-away work equals the owner share exactly
+   (the steal ledger rides outside the data counters, so the message and
+   byte checks stay exact either way).
 """
 
 from __future__ import annotations
@@ -129,8 +133,16 @@ def validate_runtime(
     wire_bytes = result.metrics.wire_bytes_total
     transport = result.metrics.transport
 
+    # Under the dynamic schedule, executed work migrates; fold the steal
+    # ledger back so the comparison is owner share vs owner share.
     work_measured = np.array(
-        [w.work_executed for w in result.metrics.workers], dtype=np.int64
+        [
+            w.work_executed
+            - getattr(w, "work_stolen", 0)
+            + getattr(w, "work_shipped", 0)
+            for w in result.metrics.workers
+        ],
+        dtype=np.int64,
     )
     work_predicted = np.bincount(
         owners, weights=wm.work, minlength=nprocs

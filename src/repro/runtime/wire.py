@@ -41,6 +41,28 @@ Frame kinds
 ``DONE``
     Recovery control: the sender finished all of its tasks and is
     lingering only to serve retransmits. Payload-free.
+``STEAL_REQ`` / ``STEAL_DENY``
+    Work-stealing control (``schedule="dynamic"``): an idle thief asks a
+    victim for one ready task / the victim has nothing grantable.
+    Payload-free; ``block`` carries the thief's steal round.
+``STEAL_GRANT`` / ``STEAL_RESULT``
+    Work-stealing data: the victim ships a granted task's *destination
+    block state* (``block`` carries the task id, the payload the partial
+    block, triangle-packed when diagonal); the thief runs the identical
+    kernel on those bytes and ships the resulting state back. Because the
+    same kernel sees the same input bytes in the same canonical
+    accumulation position, the factor stays bitwise identical to a static
+    run.
+``STEAL_SHIP``
+    Work-stealing data: a final source block a granted task needs,
+    prepended to the grant on the inline transport (shm thieves read
+    sources from the arena instead). Laid out exactly like ``BLOCK`` but
+    applied without dependency bookkeeping at the thief.
+
+Steal frames ride a *reliable* plane: they are not in ``DATA_KINDS``, so
+the fault injector never drops/corrupts them, and they are counted in a
+separate steal ledger so ``messages``/``bytes`` stay exactly equal to
+the static communication-volume prediction.
 """
 
 from __future__ import annotations
@@ -53,14 +75,23 @@ import numpy as np
 
 #: Frame kinds.
 BLOCK, ABORT, NACK, DONE, BLOCK_REF = 1, 2, 3, 4, 5
+STEAL_REQ, STEAL_GRANT, STEAL_DENY, STEAL_SHIP, STEAL_RESULT = 6, 7, 8, 9, 10
 
 #: Payload-free control kinds (never fault-injected, never CRC-protected
 #: payloads — there is no payload).
-CONTROL_KINDS = (ABORT, NACK, DONE)
+CONTROL_KINDS = (ABORT, NACK, DONE, STEAL_REQ, STEAL_DENY)
 
 #: Kinds that carry (or reference) factor-block data — the fault
 #: injector's targets, and the frames counted as data traffic.
 DATA_KINDS = (BLOCK, BLOCK_REF)
+
+#: Work-stealing plane (control + migrated task state). Kept out of
+#: ``DATA_KINDS`` so the injector leaves them alone and the data ledgers
+#: stay equal to the static predictor.
+STEAL_KINDS = (STEAL_REQ, STEAL_GRANT, STEAL_DENY, STEAL_SHIP, STEAL_RESULT)
+
+#: Steal kinds that carry a block-state payload (framed like ``BLOCK``).
+_STEAL_PAYLOAD_KINDS = (STEAL_GRANT, STEAL_SHIP, STEAL_RESULT)
 
 #: Wire header prefix: magic, kind, src rank, block id, rows, cols,
 #: payload words. The CRC32 field follows immediately after.
@@ -193,6 +224,53 @@ def pack_done(src: int) -> bytes:
     return _frame(DONE, src, -1, 0, 0)
 
 
+def _pack_state(kind: int, src: int, ref: int, square: bool,
+                array: np.ndarray) -> bytes:
+    """Frame a block-state payload for the steal plane (triangle-packed
+    when ``square`` — bit-exact for the significant lower triangle, same
+    byte accounting as ``BLOCK``)."""
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    rows, cols = arr.shape
+    if square:
+        words = arr[np.tril_indices(rows)]
+    else:
+        words = arr.ravel()
+    return _frame(kind, src, ref, rows, cols, words.tobytes())
+
+
+def pack_steal_req(src: int, round_: int) -> bytes:
+    """Serialize a STEAL_REQ: thief ``src`` asks for one ready task.
+    ``block`` carries the thief's steal round (diagnostic only)."""
+    return _frame(STEAL_REQ, src, round_, 0, 0)
+
+
+def pack_steal_deny(src: int, round_: int) -> bytes:
+    """Serialize a STEAL_DENY: victim ``src`` has nothing grantable."""
+    return _frame(STEAL_DENY, src, round_, 0, 0)
+
+
+def pack_steal_grant(src: int, tid: int, diagonal: bool,
+                     state: np.ndarray) -> bytes:
+    """Serialize a STEAL_GRANT: victim ``src`` migrates task ``tid``
+    (carried in the ``block`` field) with its destination block's current
+    partial state as the payload."""
+    return _pack_state(STEAL_GRANT, src, tid, diagonal, state)
+
+
+def pack_steal_result(src: int, tid: int, diagonal: bool,
+                      state: np.ndarray) -> bytes:
+    """Serialize a STEAL_RESULT: thief ``src`` returns task ``tid``'s
+    post-execution destination block state."""
+    return _pack_state(STEAL_RESULT, src, tid, diagonal, state)
+
+
+def pack_steal_ship(src: int, block: int, I: int, J: int,
+                    array: np.ndarray) -> bytes:
+    """Serialize a STEAL_SHIP: a final source block a granted task needs,
+    laid out exactly like ``BLOCK`` but applied without bookkeeping."""
+    return _pack_state(STEAL_SHIP, src, block, I == J, array)
+
+
 def unpack(frame: bytes, verify: bool = True, copy: bool = True) -> WireMessage:
     """Decode one frame back into a :class:`WireMessage`.
 
@@ -254,7 +332,7 @@ def unpack(frame: bytes, verify: bool = True, copy: bool = True) -> WireMessage:
             )
     if kind in CONTROL_KINDS:
         return WireMessage(kind, src, block, 0, 0, None)
-    if kind != BLOCK:
+    if kind != BLOCK and kind not in _STEAL_PAYLOAD_KINDS:
         raise WireError(f"unknown frame kind {kind}")
     words = np.frombuffer(frame, dtype="<f8", count=nwords, offset=HEADER_BYTES)
     if nwords == rows * (rows + 1) // 2 and rows == cols and nwords != rows * cols:
@@ -274,7 +352,7 @@ def unpack(frame: bytes, verify: bool = True, copy: bool = True) -> WireMessage:
             f"payload size {nwords} matches neither full ({rows}x{cols}) "
             "nor packed-triangular storage"
         )
-    return WireMessage(BLOCK, src, block, rows, cols, payload, words=nwords)
+    return WireMessage(kind, src, block, rows, cols, payload, words=nwords)
 
 
 def frame_kind(frame: bytes) -> int:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import queue as queue_mod
+import random
 import time
 import traceback
 from dataclasses import dataclass
@@ -109,6 +110,8 @@ class Worker:
         arena_name: str | None = None,
         arena=None,
         inline_gather: bool = False,
+        schedule: str = "static",
+        steal_seed: int = 0,
     ):
         self.rank = rank
         self.structure = structure
@@ -140,6 +143,13 @@ class Worker:
         #: reuses arena slots across jobs, so the driver cannot defer the
         #: gather copy until after the next job may have overwritten them.
         self.inline_gather = inline_gather
+        #: ``"static"`` runs the owner-computes map as-is; ``"dynamic"``
+        #: adds work stealing on top of it (see :mod:`docs/SCHEDULING.md`):
+        #: an idle worker requests a task from a seeded-random busy peer,
+        #: executes it against the shipped destination state, and returns
+        #: the result — ownership of the *update* migrates, never the block.
+        self.schedule = schedule
+        self.steal_seed = steal_seed
         self.metrics = WorkerMetrics(rank=rank)
         self.timeline = TimelineRecorder(enabled=record_timeline)
         #: Structured event recorder, or None (tracing off — the hot path
@@ -247,6 +257,21 @@ class Worker:
                 self._push(int(tg.bfac_task[int(b)]))
         self._load_checkpoint(valid_ck)
         self.expected = self._expected_blocks() if self.recovery else set()
+        # --- dynamic-schedule (work stealing) state -------------------
+        self.dynamic = self.schedule == "dynamic" and self.fabric.nprocs > 1
+        #: Tasks granted away and not yet returned: tid -> thief rank.
+        self._stolen_out: dict[int, int] = {}
+        #: Blocks installed via STEAL_SHIP (no dependency bookkeeping);
+        #: the later regular frame re-runs bookkeeping exactly once.
+        self._steal_srcs: set[int] = set()
+        self._steal_round = 0
+        self._steal_victim: int | None = None
+        self._steal_backoff_until = 0.0
+        # Panel -> diagonal block id (BDIV tasks carry src1 == -1, so the
+        # steal path resolves a BDIV's diagonal source through this map).
+        diag_ids = np.flatnonzero(diag)
+        self._diag_block = np.full(tg.npanels, -1, dtype=np.int64)
+        self._diag_block[tg.block_J[diag_ids]] = diag_ids
 
     def _crash_config(self) -> tuple[int | None, bool]:
         if (
@@ -347,6 +372,8 @@ class Worker:
                     # coalesced descriptor batches so consumers proceed.
                     self._flush_pending()
             elif not progressed:
+                if self.dynamic:
+                    self._maybe_request_steal()
                 progressed = self._wait_for_message()
             now = self._now()
             if progressed:
@@ -474,6 +501,37 @@ class Worker:
                 tr.span("comm", "nack_recv", t0, t1,
                         {"src": msg.src, "block": msg.block})
             return False
+        if msg.kind in wire.STEAL_KINDS:
+            m.steal_messages_received += 1
+            m.steal_bytes_received += len(frame)
+            if msg.kind == wire.STEAL_REQ:
+                return self._serve_steal_req(msg, t0)
+            if msg.kind == wire.STEAL_DENY:
+                self._steal_victim = None
+                self._steal_round += 1
+                m.steal_denies_received += 1
+                # Brief backoff: all-busy or all-done peers would
+                # otherwise draw a REQ/DENY ping-pong every poll tick.
+                self._steal_backoff_until = self._now() + 0.01
+                t1 = self._now()
+                self.timeline.add("comm", t0, t1)
+                if tr is not None:
+                    tr.span("steal", "steal_deny_recv", t0, t1,
+                            {"src": msg.src})
+                return False
+            if msg.kind == wire.STEAL_SHIP:
+                self._apply_steal_ship(msg)
+                t1 = self._now()
+                self.timeline.add("comm", t0, t1)
+                if tr is not None:
+                    tr.span("steal", "steal_ship_recv", t0, t1,
+                            {"block": msg.block, "src": msg.src})
+                return False
+            if msg.kind == wire.STEAL_GRANT:
+                self._steal_victim = None
+                self._steal_round += 1
+                return self._handle_steal_grant(msg, t0)
+            return self._handle_steal_result(msg, t0)
         # Logical bytes (what the predictor charges) vs wire bytes (what
         # actually crossed the queue — 64 for a descriptor).
         m.messages_received += 1
@@ -593,10 +651,13 @@ class Worker:
                                 {"block": b, "dst": owner})
 
     def _linger(self) -> None:
-        """After finishing own tasks under recovery: release delayed
-        frames, broadcast DONE, and keep serving retransmits until every
-        peer is done too (so no NACK ever targets a dead sender)."""
-        if not self.recovery or not self.links:
+        """After finishing own tasks under recovery or dynamic schedule:
+        release delayed frames, broadcast DONE, and keep serving peers
+        until every one is done too — so no NACK ever targets a dead
+        sender and no steal GRANT ever targets a dead thief (a finished
+        worker answers STEAL_REQ with DENY but still executes a binding
+        GRANT that raced its DONE)."""
+        if not (self.recovery or self.dynamic) or not self.links:
             return
         for link in self.links.values():
             link.flush()
@@ -617,6 +678,288 @@ class Worker:
                     f"never reported DONE within "
                     f"{self.stall_timeout_s:.0f}s"
                 )
+
+    # ------------------------------------------------------------------
+    # Work stealing (dynamic schedule)
+    # ------------------------------------------------------------------
+    # Ownership of the *update* migrates, never of the block. The victim
+    # ships the destination block's current partial state in the GRANT;
+    # the thief runs the identical kernel on those identical bytes at the
+    # task's canonical accumulation position and ships the state back in a
+    # RESULT, which the victim swaps in before doing the normal post-task
+    # bookkeeping. Same kernel + same input bytes + same position ==
+    # bitwise-identical factors, whichever rank executed the task.
+    #
+    # Safe-grant invariant: any BMOD in the ready queue is the canonical
+    # next update for its destination block (_push parks the rest), and
+    # BDIV/BFAC only enqueue once mods_remaining hits zero — so at most
+    # one update per destination is ever in flight, and the victim never
+    # touches a granted-out destination until the RESULT returns (the
+    # successor BMOD stays parked, executed < n_owned keeps the loop
+    # alive, and sources are only read once a block is final).
+
+    def _pick_victim(self) -> int | None:
+        """Deterministic seeded victim choice keyed on (seed, round,
+        rank): reproducible given the same knobs, uncorrelated between
+        thieves so they don't dog-pile one victim."""
+        peers = sorted(d for d in self.links if d not in self.done_peers)
+        if not peers:
+            return None
+        seed = (
+            self.steal_seed * 2654435761
+            + self._steal_round * 40503
+            + self.rank
+        ) & 0xFFFFFFFF
+        return peers[random.Random(seed).randrange(len(peers))]
+
+    def _maybe_request_steal(self) -> None:
+        """Idle and out of ready work: ask one peer for a task. At most
+        one outstanding request; a DENY advances the round and backs off
+        briefly before the next attempt."""
+        if self._steal_victim is not None:
+            return
+        now = self._now()
+        if now < self._steal_backoff_until:
+            return
+        victim = self._pick_victim()
+        if victim is None:
+            return
+        self._steal_victim = victim
+        self.metrics.steal_reqs_sent += 1
+        self.links[victim].send_steal(
+            wire.pack_steal_req(self.rank, self._steal_round)
+        )
+        t1 = self._now()
+        self.timeline.add("comm", now, t1)
+        if self.trace is not None:
+            self.trace.span("steal", "steal_req", now, t1,
+                            {"victim": victim, "round": self._steal_round})
+
+    def _task_sources(self, tid: int) -> list[int]:
+        """Final source blocks a stolen task reads (BDIV tasks carry
+        ``src1 == -1``; their one source is the panel's diagonal)."""
+        tg = self.tg
+        if int(tg.task_kind[tid]) == BDIV:
+            b = int(tg.task_block[tid])
+            return [int(self._diag_block[int(tg.block_J[b])])]
+        srcs: list[int] = []
+        for s in (int(tg.task_src1[tid]), int(tg.task_src2[tid])):
+            if s >= 0 and s not in srcs:
+                srcs.append(s)
+        return srcs
+
+    def _serve_steal_req(self, msg: wire.WireMessage, t0: float) -> bool:
+        """Grant the steal-end task of our queue, or DENY. Grants only
+        BMOD/BDIV (BFAC pivots are cheap and fan out locally) and only
+        while we keep at least one ready task for ourselves."""
+        thief = msg.src
+        tg = self.tg
+        tid = None
+        if self.dynamic and thief in self.links and len(self.scheduler) >= 2:
+            tid = self.scheduler.steal(
+                lambda t: int(tg.task_kind[t]) != BFAC
+            )
+        m = self.metrics
+        if tid is None:
+            m.steal_denies += 1
+            self.links[thief].send_steal(
+                wire.pack_steal_deny(self.rank, msg.block)
+            )
+            t1 = self._now()
+            self.timeline.add("comm", t0, t1)
+            if self.trace is not None:
+                self.trace.span("steal", "steal_deny", t0, t1,
+                                {"thief": thief})
+            return False
+        b = int(tg.task_block[tid])
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        if self.arena is None:
+            # Inline transport: ship the final sources ahead of the grant
+            # (same link, FIFO — they land first). On shm the thief reads
+            # them straight from the arena instead.
+            for s in self._task_sources(tid):
+                sI, sJ = int(tg.block_I[s]), int(tg.block_J[s])
+                arr = (
+                    self.chol.diag[sJ]
+                    if sI == sJ
+                    else self.chol.below[sJ][sI]
+                )
+                self.links[thief].send_steal(
+                    wire.pack_steal_ship(self.rank, s, sI, sJ, arr)
+                )
+        dest = self.chol.diag[J] if I == J else self.chol.below[J][I]
+        self.links[thief].send_steal(
+            wire.pack_steal_grant(self.rank, tid, I == J, dest)
+        )
+        self._stolen_out[tid] = thief
+        work = int(tg.task_flops[tid]) + self.op_fixed_cost
+        m.steal_grants += 1
+        m.tasks_shipped += 1
+        m.work_shipped += work
+        t1 = self._now()
+        self.timeline.add("comm", t0, t1)
+        if self.trace is not None:
+            self.trace.span("steal", "steal_grant", t0, t1,
+                            {"tid": tid, "thief": thief, "work": work})
+        return False
+
+    def _apply_steal_ship(self, msg: wire.WireMessage) -> None:
+        """Install a steal-shipped final source block *without* dependency
+        bookkeeping: the regular fan-out frame for it still arrives later
+        and runs the bookkeeping exactly once (its bytes are identical, so
+        the overwrite is a no-op numerically)."""
+        b = msg.block
+        if b in self.have or b in self._steal_srcs:
+            return
+        tg = self.tg
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        if I == J:
+            self.chol.diag[J] = msg.payload
+            self.chol._factored[J] = True
+        else:
+            self.chol.below[J][I] = msg.payload
+        self._steal_srcs.add(b)
+
+    def _handle_steal_grant(self, msg: wire.WireMessage, t0: float) -> bool:
+        """A victim granted us task ``msg.block`` (a task id, not a block
+        id) and shipped the destination's partial state. Install sources
+        and state, then execute."""
+        tg = self.tg
+        tid = msg.block
+        victim = msg.src
+        b = int(tg.task_block[tid])
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        if self.arena is not None:
+            for s in self._task_sources(tid):
+                if s in self.have or s in self._steal_srcs:
+                    continue
+                sI, sJ = int(tg.block_I[s]), int(tg.block_J[s])
+                arr = self.arena.read(s)
+                if sI == sJ:
+                    self.chol.diag[sJ] = arr
+                    self.chol._factored[sJ] = True
+                else:
+                    self.chol.below[sJ][sI] = arr
+                self._steal_srcs.add(s)
+        # Writable C-contiguous copy: BDIV solves in place, and the BMOD
+        # fused kernel's fast path requires a writable contiguous dest
+        # (falling off it would round differently and break bitwise
+        # identity with the victim having run the task itself).
+        state = np.array(msg.payload)
+        if I == J:
+            self.chol.diag[J] = state
+        else:
+            self.chol.below[J][I] = state
+        t1 = self._now()
+        self.timeline.add("comm", t0, t1)
+        if self.trace is not None:
+            self.trace.span("steal", "steal_grant_recv", t0, t1,
+                            {"tid": tid, "victim": victim})
+        self._execute_stolen(tid, victim)
+        return True
+
+    def _execute_stolen(self, tid: int, victim: int) -> None:
+        """Run a stolen task and ship the resulting destination state
+        back. Counts toward our executed-work metrics (and the stolen
+        tallies) but *not* toward ``executed`` — that is the victim's
+        owned-task counter and ticks when the RESULT lands there."""
+        tg = self.tg
+        kind = int(tg.task_kind[tid])
+        b = int(tg.task_block[tid])
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        # BDIV layout mimicry: solve_triangular rounds differently for C-
+        # vs F-contiguous L_KK, and the victim's copy is F-contiguous iff
+        # the victim factored it itself (bfac returns Fortran order;
+        # wire/arena copies are C order). Present the diagonal with the
+        # layout the victim would have used, restoring our own afterwards,
+        # so the stolen solve is bitwise the one the victim would compute.
+        diag_orig = None
+        if kind == BDIV:
+            dk = int(self._diag_block[J])
+            cur = self.chol.diag[J]
+            want_f = int(self.owners[dk]) == victim
+            if want_f and not cur.flags.f_contiguous:
+                diag_orig = cur
+                self.chol.diag[J] = np.asfortranarray(cur)
+            elif not want_f and not cur.flags.c_contiguous:
+                diag_orig = cur
+                self.chol.diag[J] = np.ascontiguousarray(cur)
+        t0 = self._now()
+        self.chol.apply_task(tg, tid)
+        t1 = self._now()
+        if diag_orig is not None:
+            self.chol.diag[J] = diag_orig
+        self.timeline.add("busy", t0, t1)
+        m = self.metrics
+        m.tasks_executed += 1
+        m.task_counts[_KIND_NAMES[kind]] += 1
+        flops = int(tg.task_flops[tid])
+        work = flops + self.op_fixed_cost
+        m.flops_executed += flops
+        m.work_executed += work
+        m.tasks_stolen += 1
+        m.work_stolen += work
+        if self.trace is not None:
+            self.trace.span(
+                "task",
+                f"{_KIND_NAMES[kind]}({I},{J})",
+                t0, t1,
+                {"tid": tid, "block": b, "flops": flops, "work": work,
+                 "stolen_from": victim},
+            )
+        if self._slow_s > 0.0:
+            if self.injector is not None:
+                self.injector.injected["slow"] += 1
+            if self.trace is not None:
+                self.trace.mark("slow", self._now(), {"s": self._slow_s})
+            time.sleep(self._slow_s)
+        dest = self.chol.diag[J] if I == J else self.chol.below[J][I]
+        t2 = self._now()
+        self.links[victim].send_steal(
+            wire.pack_steal_result(self.rank, tid, I == J, dest)
+        )
+        t3 = self._now()
+        self.timeline.add("comm", t2, t3)
+        if self.trace is not None:
+            self.trace.span("steal", "steal_result", t2, t3,
+                            {"tid": tid, "victim": victim, "work": work})
+
+    def _handle_steal_result(self, msg: wire.WireMessage, t0: float) -> bool:
+        """The thief returned the destination state for a task we granted
+        away: swap it in, count it as one of our owned executions, and do
+        the normal post-task bookkeeping (fan-out, wake-ups)."""
+        tg = self.tg
+        tid = msg.block
+        thief = msg.src
+        self._stolen_out.pop(tid, None)
+        kind = int(tg.task_kind[tid])
+        b = int(tg.task_block[tid])
+        I, J = int(tg.block_I[b]), int(tg.block_J[b])
+        state = np.array(msg.payload)
+        if I == J:
+            self.chol.diag[J] = state
+        else:
+            self.chol.below[J][I] = state
+        self.executed += 1
+        work = int(tg.task_flops[tid]) + self.op_fixed_cost
+        # Close the comm span before the dispatch below: _fan_out times
+        # its own comm segment and must not be double-counted here.
+        t1 = self._now()
+        self.timeline.add("comm", t0, t1)
+        if self.trace is not None:
+            self.trace.span("steal", "steal_result_recv", t0, t1,
+                            {"tid": tid, "thief": thief, "work": work})
+        if kind == BMOD:
+            self._bmod_advance(b)
+            self.mods_remaining[b] -= 1
+            if self.mods_remaining[b] == 0:
+                self._block_mods_done(b)
+        else:  # BDIV (BFAC is never granted)
+            self._publish(b)
+            deps = tg.dep_tasks[tg.dep_ptr[b] : tg.dep_ptr[b + 1]]
+            self._fan_out(b, self.task_owner[deps])
+            self._subdiag_completed(b)
+        return True
 
     # ------------------------------------------------------------------
     # Dependency bookkeeping (local mirror of the simulator's)
@@ -803,6 +1146,8 @@ class Worker:
                 m.links[dst] = [link.messages, link.bytes]
             m.wire_bytes_sent += link.wire_bytes
             m.control_sent += link.control_messages
+            m.steal_messages_sent += link.steal_messages
+            m.steal_bytes_sent += link.steal_bytes
         m.messages_sent = sum(v[0] for v in m.links.values())
         m.bytes_sent = sum(v[1] for v in m.links.values())
         injector = getattr(self, "injector", None)

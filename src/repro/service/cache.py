@@ -59,6 +59,10 @@ class PatternEntry:
     #: job of the pattern (the arena layout is size-independent, so only
     #: the plan changes). 0 = "whatever the service was configured with".
     planned_nprocs: int = 0
+    #: Execution schedule the workers run this pattern under
+    #: ("static" | "dynamic") and the steal-victim seed for the latter.
+    schedule: str = "static"
+    steal_seed: int = 0
     #: All-zero matrix in the pattern's shape — the assembly shell
     #: (every block is overwritten by gathered frames).
     _empty: sparse.csc_matrix | None = field(default=None, repr=False)
@@ -93,6 +97,8 @@ class PatternEntry:
             indices=A_perm.indices,
             shape=tuple(A_perm.shape),
             arena_name=None if self.arena is None else self.arena.name,
+            schedule=self.schedule,
+            steal_seed=self.steal_seed,
         )
 
     def destroy(self) -> None:

@@ -92,7 +92,8 @@ class FactorService:
 
     Parameters mirror :class:`~repro.solver.SparseCholesky` where they
     overlap (``ordering``, ``block_size``, ``nprocs``, ``mapping``,
-    ``use_domains``, ``transport``, ``trace``); the service-specific
+    ``use_domains``, ``transport``, ``schedule``, ``trace``); the
+    service-specific
     knobs are the admission policy (``admission`` + ``queue_capacity``),
     the batching window (``max_batch`` + ``batch_wait_s``), the pattern
     cache bound (``cache_capacity``), and ``validate`` (bitwise-check
@@ -107,6 +108,8 @@ class FactorService:
         mapping: str = "DW/CY",
         use_domains: bool = False,
         transport: str = "auto",
+        schedule: str = "static",
+        steal_seed: int = 0,
         queue_capacity: int = 64,
         admission: str = "block",
         max_batch: int = 8,
@@ -132,6 +135,12 @@ class FactorService:
         self.mapping = mapping
         self.use_domains = use_domains
         self.transport = resolve_transport(transport, self.nprocs)
+        if schedule not in ("static", "dynamic"):
+            raise ValueError(
+                f"schedule must be 'static' or 'dynamic', got {schedule!r}"
+            )
+        self.schedule = schedule
+        self.steal_seed = int(steal_seed)
         self.validate = validate
         self.max_batch = max(1, int(max_batch))
         self.batch_wait_s = float(batch_wait_s)
@@ -442,6 +451,13 @@ class FactorService:
                 self._run_sequential(p)
             self._release_evictions()
             return
+        # A pool that healed onto a shrunken crew during an earlier batch
+        # grows back to its configured width here — between batches is
+        # the only safe point. The restart clears ``seen_patterns``, so
+        # contexts re-ship lazily and ``_sync_plan`` re-plans owners for
+        # the restored width exactly as it re-planned for the shrink.
+        if self.pool.running and self.pool.nprocs < self.pool.configured_nprocs:
+            self.pool.regrow()
         # Bounded parallel attempts: jobs that fail on a broken pool are
         # re-dispatched (fresh seqs; contexts re-ship because the healed
         # pool forgot them; owners re-planned for the shrunken crew).
@@ -651,6 +667,7 @@ class FactorService:
             self.mapping,
             self.use_domains,
             self.transport,
+            self.schedule,
         )
 
     def _build_entry(self, pid: str, A: sparse.csc_matrix) -> PatternEntry:
@@ -684,6 +701,8 @@ class FactorService:
             orig_indptr=A.indptr.copy(),
             orig_indices=A.indices.copy(),
             arena=arena,
+            schedule=self.schedule,
+            steal_seed=self.steal_seed,
         )
 
     def _job_values(self, job, entry: PatternEntry, A_full) -> np.ndarray:
@@ -806,6 +825,7 @@ class FactorService:
             mapping=entry.mapping_name,
             problem=entry.pattern_id,
             transport="shm" if entry.arena is not None else "inline",
+            schedule=entry.schedule,
         )
         metrics.extra["service"] = {
             "job_id": record.job_id,

@@ -100,6 +100,15 @@ class SparseCholesky:
         Block payload transport for the ``"mp"`` backend: ``"auto"``
         (default — shared-memory arena when available), ``"shm"``, or
         ``"inline"``. See :func:`repro.runtime.engine.run_mp_fanout`.
+    schedule:
+        Execution discipline for the ``"mp"`` backend: ``"static"``
+        (default — every task runs at its block's owner) or
+        ``"dynamic"`` (idle workers steal ready BMOD/BDIV tasks from
+        busy peers; factors stay bitwise identical — see
+        ``docs/SCHEDULING.md``). Forwarded to the service backend's
+        job context when set there.
+    steal_seed:
+        Seed for the dynamic schedule's deterministic victim selection.
     deadline_s:
         Per-job end-to-end budget for the ``"service"`` backend. Past
         it, :meth:`factor` raises the typed
@@ -125,6 +134,8 @@ class SparseCholesky:
         max_restarts: int = 2,
         trace: bool | int | None = None,
         transport: str = "auto",
+        schedule: str = "static",
+        steal_seed: int = 0,
         service=None,
         deadline_s: float | None = None,
     ):
@@ -152,6 +163,12 @@ class SparseCholesky:
         self.max_restarts = max_restarts
         self.trace = trace
         self.transport = transport
+        if schedule not in ("static", "dynamic"):
+            raise ValueError(
+                f"schedule must be 'static' or 'dynamic', got {schedule!r}"
+            )
+        self.schedule = schedule
+        self.steal_seed = steal_seed
         if backend == "service" and service is None:
             raise ValueError(
                 'backend="service" needs a running service: pass '
@@ -261,6 +278,8 @@ class SparseCholesky:
                     max_restarts=self.max_restarts,
                     trace=self.trace,
                     transport=self.transport,
+                    schedule=self.schedule,
+                    steal_seed=self.steal_seed,
                     plan_cache=self._plan_cache,
                 )
                 self.failure_report = result.failure_report
@@ -277,6 +296,8 @@ class SparseCholesky:
                     mapping=name,
                     trace=self.trace,
                     transport=self.transport,
+                    schedule=self.schedule,
+                    steal_seed=self.steal_seed,
                 )
             self._numeric = result.factor
             self.runtime_metrics = result.metrics

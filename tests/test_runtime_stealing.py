@@ -1,0 +1,196 @@
+"""The dynamic schedule (work stealing): factors bitwise identical to the
+static schedule on both transports, exact migration-adjusted accounting,
+steal-aware trace replay, crash recovery, and pool regrowth after heal."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace_replay import replay_trace, validate_trace
+from repro.numeric import BlockCholesky
+from repro.runtime import (
+    plan_owners,
+    run_mp_fanout,
+    shm_available,
+    validate_runtime,
+)
+from repro.runtime.faults import FaultPlan
+from repro.runtime.recovery import run_with_recovery
+
+TRANSPORTS = ["inline"] + (["shm"] if shm_available() else [])
+
+
+def _run(pipe, schedule, transport, nprocs=4, **kw):
+    _, sf, _, bs, wm, tg = pipe
+    owners, name = plan_owners(wm, tg, nprocs, "DW/CY")
+    return run_mp_fanout(
+        bs, sf.A, tg, owners, nprocs, mapping=name,
+        schedule=schedule, transport=transport, **kw
+    )
+
+
+def _bitwise(L, ref):
+    return (
+        np.array_equal(L.indptr, ref.indptr)
+        and np.array_equal(L.indices, ref.indices)
+        and np.array_equal(L.data, ref.data)
+    )
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_dynamic_matches_static_bitwise(self, grid12_pipeline, transport):
+        """The core determinism contract: stealing moves *where* a task
+        runs, never *what* it computes — same kernel, same input bytes,
+        same canonical accumulation slot."""
+        _, sf, _, bs, *_ = grid12_pipeline
+        st = _run(grid12_pipeline, "static", transport)
+        dy = _run(grid12_pipeline, "dynamic", transport)
+        L_st, L_dy = st.to_csc(), dy.to_csc()
+        assert _bitwise(L_dy, L_st)
+        seq = BlockCholesky(bs, sf.A).factor().to_csc()
+        assert abs(L_dy - seq).max() < 1e-10
+        assert dy.metrics.schedule == "dynamic"
+        assert dy.metrics.tasks_total == st.metrics.tasks_total
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_dynamic_under_throttle_bitwise(self, grid12_pipeline, transport):
+        """A throttled worker forces real migrations; the factor still
+        matches an unfaulted static run bitwise."""
+        st = _run(grid12_pipeline, "static", transport)
+        plan = FaultPlan.scenario("slow", rank=0, slow_s=0.005, seed=3)
+        dy = _run(
+            grid12_pipeline, "dynamic", transport,
+            fault_plan=plan, recovery=False,
+        )
+        assert _bitwise(dy.to_csc(), st.to_csc())
+        assert dy.metrics.tasks_stolen_total > 0
+
+    def test_steal_seed_changes_victims_not_factor(self, grid12_pipeline):
+        st = _run(grid12_pipeline, "static", "inline")
+        for seed in (0, 7):
+            dy = _run(grid12_pipeline, "dynamic", "inline", steal_seed=seed)
+            assert _bitwise(dy.to_csc(), st.to_csc())
+
+    def test_rejects_unknown_schedule(self, grid12_pipeline):
+        with pytest.raises(ValueError):
+            _run(grid12_pipeline, "stochastic", "inline")
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_migration_adjusted_work_is_exact(
+        self, grid12_pipeline, transport
+    ):
+        """executed - stolen_in + shipped_away == the WorkModel owner
+        share, integer for integer; message/byte counters stay on the
+        static prediction because steal traffic rides its own ledger."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = _run(grid12_pipeline, "dynamic", transport)
+        rep = validate_runtime(
+            bs, sf.A, tg, problem="grid12", result=res, strict=True,
+        )
+        assert rep.ok
+
+    def test_steal_ledger_is_consistent(self, grid12_pipeline):
+        plan = FaultPlan.scenario("slow", rank=0, slow_s=0.005, seed=3)
+        res = _run(
+            grid12_pipeline, "dynamic", "inline",
+            fault_plan=plan, recovery=False,
+        )
+        m = res.metrics
+        stolen = sum(w.tasks_stolen for w in m.workers)
+        shipped = sum(w.tasks_shipped for w in m.workers)
+        assert stolen == shipped == m.tasks_stolen_total > 0
+        assert sum(w.work_stolen for w in m.workers) == sum(
+            w.work_shipped for w in m.workers
+        )
+        grants = sum(w.steal_grants for w in m.workers)
+        assert grants == stolen
+
+    def test_static_run_has_zero_steal_counters(self, grid12_pipeline):
+        m = _run(grid12_pipeline, "static", "inline").metrics
+        assert m.tasks_stolen_total == 0
+        assert m.steal_reqs_total == 0
+        assert m.steal_bytes_total == 0
+
+
+class TestTraceConformance:
+    def test_fault_free_dynamic_trace_validates(self, grid12_pipeline):
+        """Replay reconciles a dynamic trace exactly: steal spans,
+        migrated tasks, and the steal counters all line up with the
+        runtime metrics and the static models."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        res = _run(grid12_pipeline, "dynamic", "inline", trace=True)
+        rep = validate_trace(
+            res.trace, metrics=res.metrics, tg=tg,
+            owners=res.owners, strict=True,
+        )
+        assert rep.ok
+
+    def test_replay_migration_counts_match_metrics(self, grid12_pipeline):
+        plan = FaultPlan.scenario("slow", rank=0, slow_s=0.005, seed=3)
+        res = _run(
+            grid12_pipeline, "dynamic", "inline", trace=True,
+            fault_plan=plan, recovery=False,
+        )
+        rep = replay_trace(res.trace)
+        m = res.metrics
+        assert rep.migrated
+        for r, w in enumerate(m.workers):
+            assert rep.migrated_in_tasks[r] == w.tasks_stolen
+            assert rep.migrated_away_tasks[r] == w.tasks_shipped
+            assert rep.migrated_in_work[r] == w.work_stolen
+            assert rep.migrated_away_work[r] == w.work_shipped
+        # Folding the migration back out conserves total work.
+        assert rep.owner_work.sum() == rep.work.sum()
+
+
+class TestRecovery:
+    def test_crash_recovers_under_dynamic(self, grid12_pipeline):
+        """A worker crash with schedule="dynamic" still recovers to the
+        sequential factor — stealing defers to the recovery machinery."""
+        _, sf, _, bs, wm, tg = grid12_pipeline
+        plan = FaultPlan.scenario("crash", rank=1, after_tasks=3)
+        res = run_with_recovery(
+            bs, sf.A, tg, nprocs=4, mapping="DW/CY", fault_plan=plan,
+            max_restarts=2, schedule="dynamic",
+        )
+        rep = res.failure_report
+        assert rep.ok or rep.degraded
+        seq = BlockCholesky(bs, sf.A).factor().to_csc()
+        assert abs(res.to_csc() - seq).max() < 1e-8
+
+    def test_single_worker_degrades_to_static(self, grid12_pipeline):
+        """P=1 has no peers to steal from; the dynamic flag must be a
+        clean no-op."""
+        res = _run(grid12_pipeline, "dynamic", "inline", nprocs=1)
+        m = res.metrics
+        assert m.tasks_stolen_total == 0
+        assert m.steal_reqs_total == 0
+
+
+class TestPoolRegrow:
+    def test_heal_then_regrow_restores_width_bitwise(self, grid12_pipeline):
+        """A healed (shrunken) pool grows back to its configured width
+        and the regrown crew factors bitwise identically."""
+        import os
+        import signal
+
+        from repro.matrices import grid2d_matrix
+        from repro.service import FactorService
+
+        A = grid2d_matrix(12).A.tocsc()
+        svc = FactorService(nprocs=2, block_size=8, transport="inline")
+        svc.start()
+        try:
+            ref = svc.factor(A).L
+            os.kill(svc.pool._procs[1].pid, signal.SIGKILL)
+            healed = svc.factor(A)  # heals onto the survivor mid-batch
+            assert _bitwise(healed.L, ref)
+            assert svc.pool.nprocs < svc.pool.configured_nprocs
+            regrown = svc.factor(A)  # next batch regrows to full width
+            assert svc.pool.nprocs == svc.pool.configured_nprocs == 2
+            assert _bitwise(regrown.L, ref)
+            assert svc.health()["status"] == "ok"
+        finally:
+            svc.close()
