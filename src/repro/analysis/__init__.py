@@ -7,7 +7,10 @@ subtree-to-subcube mappings.
 """
 
 from repro.analysis.critical_path import critical_path
-from repro.analysis.comm_volume import communication_volume
+from repro.analysis.comm_volume import (
+    communication_volume,
+    solve_communication_volume,
+)
 from repro.analysis.memory import memory_usage
 from repro.analysis.trace_replay import (
     TraceReplay,
@@ -22,6 +25,7 @@ from repro.analysis.utilization import utilization_profile
 __all__ = [
     "critical_path",
     "communication_volume",
+    "solve_communication_volume",
     "memory_usage",
     "TraceReplay",
     "TraceValidationError",

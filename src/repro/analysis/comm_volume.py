@@ -69,3 +69,114 @@ def communication_volume(
         max_fanout = max(max_fanout, n)
 
     return CommReport(messages=total_msgs, bytes=total_bytes, max_fanout=max_fanout)
+
+
+@dataclass(frozen=True)
+class SolveCommReport:
+    """Predicted solve-phase traffic, split by frame kind.
+
+    Solve frames always travel inline (a fixed 64-byte header plus the
+    full float64 fragment), so these byte counts are exact on every
+    transport — the runtime's solve ledger must match them integer for
+    integer on a fault-free run.
+    """
+
+    y_messages: int
+    y_bytes: int
+    fup_messages: int
+    fup_bytes: int
+    x_messages: int
+    x_bytes: int
+    bup_messages: int
+    bup_bytes: int
+
+    @property
+    def messages(self) -> int:
+        return (self.y_messages + self.fup_messages
+                + self.x_messages + self.bup_messages)
+
+    @property
+    def bytes(self) -> int:
+        return self.y_bytes + self.fup_bytes + self.x_bytes + self.bup_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.messages} solve messages, {self.bytes / 1e6:.3f} MB "
+            f"(Y {self.y_messages}, FUP {self.fup_messages}, "
+            f"X {self.x_messages}, BUP {self.bup_messages})"
+        )
+
+
+def solve_communication_volume(
+    tg: TaskGraph,
+    owners: np.ndarray,
+    nrhs: int = 1,
+) -> SolveCommReport:
+    """Messages/bytes the distributed triangular solve sends under
+    ``owners`` for an ``nrhs``-column right-hand side.
+
+    Four traffic classes, mirroring the four solve frame kinds:
+
+    * ``SOLVE_Y`` — each forward-solved panel ``K`` is broadcast to the
+      distinct owners of column ``K``'s subdiagonal blocks;
+    * ``SOLVE_FUP`` — each subdiagonal block whose owner differs from its
+      destination panel's diagonal owner ships one update fragment;
+    * ``SOLVE_X`` — each backward-solved panel ``I`` is broadcast to the
+      distinct owners of the blocks in row ``I``;
+    * ``SOLVE_BUP`` — each block whose owner differs from its source
+      panel's diagonal owner ships one update fragment.
+
+    A frame costs ``64 + 8 * rows * nrhs`` bytes (header + full float64
+    fragment; solve payloads are never triangle-packed and never ride the
+    arena).
+    """
+    owners = np.asarray(owners)
+    widths = np.asarray(tg.workmodel.structure.partition.widths,
+                        dtype=np.int64)
+    diag_mask = tg.block_I == tg.block_J
+    diag_ids = np.flatnonzero(diag_mask)
+    diag_owner = np.full(tg.npanels, -1, dtype=np.int64)
+    diag_owner[tg.block_J[diag_ids]] = owners[diag_ids]
+
+    y_msgs = y_bytes = 0
+    for b in diag_ids:
+        k = int(tg.block_J[b])
+        sub = tg.subdiag_blocks[tg.subdiag_ptr[k] : tg.subdiag_ptr[k + 1]]
+        if sub.size == 0:
+            continue
+        dests = np.unique(owners[sub])
+        dests = dests[dests != owners[b]]
+        n = int(dests.shape[0])
+        y_msgs += n
+        y_bytes += n * (64 + 8 * int(widths[k]) * nrhs)
+
+    sub_ids = np.flatnonzero(~diag_mask)
+    fup_msgs = fup_bytes = 0
+    bup_msgs = bup_bytes = 0
+    for b in sub_ids:
+        I = int(tg.block_I[b])
+        K = int(tg.block_J[b])
+        w = int(widths[K])
+        rows = int(tg.block_words[b]) // w
+        if int(owners[b]) != int(diag_owner[I]):
+            fup_msgs += 1
+            fup_bytes += 64 + 8 * rows * nrhs
+        if int(owners[b]) != int(diag_owner[K]):
+            bup_msgs += 1
+            bup_bytes += 64 + 8 * w * nrhs
+
+    x_msgs = x_bytes = 0
+    row_owners: dict[int, set] = {}
+    for b in sub_ids:
+        row_owners.setdefault(int(tg.block_I[b]), set()).add(int(owners[b]))
+    for i, dests in row_owners.items():
+        n = len(dests - {int(diag_owner[i])})
+        x_msgs += n
+        x_bytes += n * (64 + 8 * int(widths[i]) * nrhs)
+
+    return SolveCommReport(
+        y_messages=y_msgs, y_bytes=y_bytes,
+        fup_messages=fup_msgs, fup_bytes=fup_bytes,
+        x_messages=x_msgs, x_bytes=x_bytes,
+        bup_messages=bup_msgs, bup_bytes=bup_bytes,
+    )

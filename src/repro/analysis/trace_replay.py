@@ -40,7 +40,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.comm_volume import communication_volume
+from repro.analysis.comm_volume import (
+    communication_volume,
+    solve_communication_volume,
+)
 from repro.mapping.balance import overall_balance_from_owners
 
 
@@ -90,6 +93,24 @@ class TraceReplay:
     steal_reqs: np.ndarray = None
     steal_grants: np.ndarray = None
     steal_denies: np.ndarray = None
+    #: Solve phase (zero everywhere on factor-only runs): replayed
+    #: busy/comm/idle seconds, per-worker solve tasks/work, and the solve
+    #: plane's message/byte ledger (logical == wire for solve frames).
+    solve_busy_s: np.ndarray = None
+    solve_comm_s: np.ndarray = None
+    solve_idle_s: np.ndarray = None
+    solve_tasks: np.ndarray = None
+    solve_work: np.ndarray = None
+    solve_task_counts: list = None
+    solve_messages_sent: np.ndarray = None
+    solve_bytes_sent: np.ndarray = None
+    solve_messages_received: np.ndarray = None
+    solve_bytes_received: np.ndarray = None
+
+    @property
+    def solved(self) -> bool:
+        """True when this attempt ran a distributed solve phase."""
+        return bool(self.solve_tasks.sum())
 
     # ------------------------------------------------------------------
     @property
@@ -200,6 +221,19 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
     sreqs = np.zeros(nprocs, dtype=np.int64)
     sgrants = np.zeros(nprocs, dtype=np.int64)
     sdenies = np.zeros(nprocs, dtype=np.int64)
+    sv_busy = np.zeros(nprocs)
+    sv_comm = np.zeros(nprocs)
+    sv_idle = np.zeros(nprocs)
+    sv_tasks = np.zeros(nprocs, dtype=np.int64)
+    sv_work = np.zeros(nprocs, dtype=np.int64)
+    sv_counts = [
+        {"FSOLVE": 0, "FUPD": 0, "BSOLVE": 0, "BUPD": 0}
+        for _ in range(nprocs)
+    ]
+    sv_msent = np.zeros(nprocs, dtype=np.int64)
+    sv_bsent = np.zeros(nprocs, dtype=np.int64)
+    sv_mrecv = np.zeros(nprocs, dtype=np.int64)
+    sv_brecv = np.zeros(nprocs, dtype=np.int64)
 
     for e in trace.events:
         if e.attempt != attempt:
@@ -252,6 +286,27 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
                 sdenies[r] += 1
         elif e.cat == "idle":
             idle[r] += e.t1 - e.t0
+        elif e.cat == "solve_task":
+            sv_busy[r] += e.t1 - e.t0
+            sv_tasks[r] += 1
+            kind = e.name.partition("(")[0]
+            if kind in sv_counts[r]:
+                sv_counts[r][kind] += 1
+            if e.args:
+                sv_work[r] += int(e.args.get("work", 0))
+        elif e.cat == "solve_send":
+            sv_comm[r] += e.t1 - e.t0
+            if e.args:
+                n = len(e.args.get("targets", ()))
+                sv_msent[r] += n
+                sv_bsent[r] += n * int(e.args.get("bytes", 0))
+        elif e.cat == "solve_recv":
+            sv_comm[r] += e.t1 - e.t0
+            sv_mrecv[r] += 1
+            if e.args:
+                sv_brecv[r] += int(e.args.get("bytes", 0))
+        elif e.cat == "solve_idle":
+            sv_idle[r] += e.t1 - e.t0
         elif e.cat == "mark":
             marks[e.name] = marks.get(e.name, 0) + 1
             if e.name == "retransmit":
@@ -274,6 +329,11 @@ def replay_trace(trace, attempt: int | None = None) -> TraceReplay:
         migrated_in_tasks=mig_in_t, migrated_away_tasks=mig_away_t,
         migrated_in_work=mig_in_w, migrated_away_work=mig_away_w,
         steal_reqs=sreqs, steal_grants=sgrants, steal_denies=sdenies,
+        solve_busy_s=sv_busy, solve_comm_s=sv_comm, solve_idle_s=sv_idle,
+        solve_tasks=sv_tasks, solve_work=sv_work,
+        solve_task_counts=sv_counts,
+        solve_messages_sent=sv_msent, solve_bytes_sent=sv_bsent,
+        solve_messages_received=sv_mrecv, solve_bytes_received=sv_brecv,
     )
 
 
@@ -306,6 +366,16 @@ class TraceValidationReport:
             lines.append(
                 f"  row={rep.row_balance:.4f} col={rep.column_balance:.4f} "
                 f"diag={'n/a' if diag is None else f'{diag:.4f}'}"
+            )
+        if rep.solved:
+            lines.append(
+                f"  solve: {int(rep.solve_tasks.sum())} tasks "
+                f"({int(rep.solve_work.sum())} work), "
+                f"{int(rep.solve_messages_sent.sum())} messages "
+                f"({int(rep.solve_bytes_sent.sum())} bytes), "
+                f"busy={rep.solve_busy_s.sum():.4f}s "
+                f"comm={rep.solve_comm_s.sum():.4f}s "
+                f"idle={rep.solve_idle_s.sum():.4f}s"
             )
         if rep.migrated:
             lines.append(
@@ -476,6 +546,50 @@ def validate_trace(
                 # stolen spans and the victims they name must match both
                 # sides' steal tallies task for task, work unit for work
                 # unit.
+                # The solve plane reconciles exactly too: replayed
+                # busy/comm/idle seconds bit-equal the worker's own
+                # timeline sums, and the solve ledger integer-equals the
+                # link counters.
+                for label, got, want in (
+                    ("solve_busy_s", rep.solve_busy_s[r],
+                     getattr(w, "solve_busy_s", 0.0)),
+                    ("solve_comm_s", rep.solve_comm_s[r],
+                     getattr(w, "solve_comm_s", 0.0)),
+                    ("solve_idle_s", rep.solve_idle_s[r],
+                     getattr(w, "solve_idle_s", 0.0)),
+                ):
+                    if got != want:
+                        failures.append(
+                            f"worker {r}: replayed {label} {got!r} != "
+                            f"metrics {want!r}"
+                        )
+                for label, got, want in (
+                    ("solve tasks", rep.solve_tasks[r],
+                     getattr(w, "solve_tasks_executed", 0)),
+                    ("solve work", rep.solve_work[r],
+                     getattr(w, "solve_work_executed", 0)),
+                    ("solve messages sent", rep.solve_messages_sent[r],
+                     getattr(w, "solve_messages_sent", 0)),
+                    ("solve bytes sent", rep.solve_bytes_sent[r],
+                     getattr(w, "solve_bytes_sent", 0)),
+                    ("solve messages received",
+                     rep.solve_messages_received[r],
+                     getattr(w, "solve_messages_received", 0)),
+                    ("solve bytes received", rep.solve_bytes_received[r],
+                     getattr(w, "solve_bytes_received", 0)),
+                ):
+                    if int(got) != int(want):
+                        failures.append(
+                            f"worker {r}: replayed {label} {int(got)} "
+                            f"!= metrics {int(want)}"
+                        )
+                sv_counts = getattr(w, "solve_task_counts", None)
+                if sv_counts and rep.solve_task_counts[r] != sv_counts:
+                    failures.append(
+                        f"worker {r}: replayed solve task kinds "
+                        f"{rep.solve_task_counts[r]} != metrics "
+                        f"{sv_counts}"
+                    )
                 for label, got, want in (
                     ("steal requests", rep.steal_reqs[r],
                      getattr(w, "steal_reqs_sent", 0)),
@@ -536,6 +650,32 @@ def validate_trace(
             )
         else:
             checks.append("per-worker work equals the WorkModel share")
+        if rep.solved:
+            # The solve predictor reconciles exactly: the number of
+            # right-hand sides is recorded in the trace metadata, and
+            # solve frames are fully inline, so logical == wire bytes.
+            nrhs = int(trace.meta.get("nrhs", 1)) or 1
+            sv_pred = solve_communication_volume(tg, owners, nrhs=nrhs)
+            sv_sent = int(rep.solve_messages_sent.sum())
+            sv_recv = int(rep.solve_messages_received.sum())
+            sv_bytes = int(rep.solve_bytes_sent.sum())
+            sv_rbytes = int(rep.solve_bytes_received.sum())
+            if sv_sent != sv_pred.messages or sv_recv != sv_pred.messages:
+                failures.append(
+                    f"replayed solve messages {sv_sent} sent / "
+                    f"{sv_recv} received, predictor says "
+                    f"{sv_pred.messages}"
+                )
+            elif sv_bytes != sv_pred.bytes or sv_rbytes != sv_pred.bytes:
+                failures.append(
+                    f"replayed solve bytes {sv_bytes} sent / "
+                    f"{sv_rbytes} received, predictor says "
+                    f"{sv_pred.bytes}"
+                )
+            else:
+                checks.append(
+                    "solve messages/bytes equal solve_communication_volume"
+                )
         comm_pred = communication_volume(tg, owners)
         if int(rep.messages_sent.sum()) != comm_pred.messages:
             failures.append(

@@ -130,10 +130,28 @@ def _usable_cpus() -> int | None:
         return os.cpu_count()
 
 
+def _oversub_note(nprocs: int, usable: int | None) -> str | None:
+    """The oversubscription warning, or None when the run is honest.
+
+    Printed at *every* place a timing is reported — not just once at
+    startup — so a grepped or truncated log can never show a wall clock
+    without its caveat."""
+    if usable is None or nprocs <= usable:
+        return None
+    return (f"WARNING: {nprocs} workers on {usable} affinity-visible "
+            f"CPUs — oversubscribed wall clocks measure time-sliced "
+            f"execution, not parallel speedup")
+
+
 def cmd_bench_real(args) -> int:
     import json
 
-    from repro.analysis.comm_volume import communication_volume
+    import numpy as np
+
+    from repro.analysis.comm_volume import (
+        communication_volume,
+        solve_communication_volume,
+    )
     from repro.experiments.pipeline import prepare_problem
     from repro.runtime import (
         plan_owners,
@@ -150,14 +168,27 @@ def cmd_bench_real(args) -> int:
               "on this platform; skipping")
         return 0
     usable = _usable_cpus()
-    if usable is not None and args.nprocs > usable:
+    oversub = _oversub_note(args.nprocs, usable)
+    if oversub is not None:
         # Same honesty policy as scripts/bench_runtime.py: oversubscribed
         # wall clocks measure time-slicing, not parallel speedup.
-        print(f"WARNING: running {args.nprocs} workers on {usable} "
-              f"affinity-visible CPUs — oversubscribed wall clocks "
-              f"measure time-sliced execution, not parallel speedup",
-              file=sys.stderr)
+        print(oversub, file=sys.stderr)
+        if args.require_multicore:
+            print(f"--require-multicore: refusing to record "
+                  f"oversubscribed timings ({args.nprocs} workers > "
+                  f"{usable} usable CPUs)", file=sys.stderr)
+            return 2
+    phase = args.phase
     prep = prepare_problem(args.problem, args.scale, args.block_size)
+    rhs = None
+    if phase in ("solve", "both"):
+        if args.nrhs < 1:
+            print("--nrhs must be positive", file=sys.stderr)
+            return 2
+        rng = np.random.default_rng(args.rhs_seed)
+        rhs = rng.standard_normal(
+            (prep.symbolic.A.shape[0], args.nrhs)
+        )
     mappings = [m.strip() for m in args.mappings.split(",") if m.strip()]
     schedules = (
         ["static", "dynamic"] if args.schedule == "both"
@@ -178,6 +209,7 @@ def cmd_bench_real(args) -> int:
                 timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
                 trace=bool(args.trace_out), transport=transport,
                 schedule=schedule, steal_seed=args.steal_seed,
+                rhs=rhs,
             )
             met = res.metrics
             met.problem = prep.name
@@ -190,17 +222,38 @@ def cmd_bench_real(args) -> int:
             resid = abs(L @ L.T - prep.symbolic.A).max()
             print(f"{prep.name} on {args.nprocs} workers ({name}, "
                   f"schedule={schedule}):")
-            print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms")
-            print(f"  |L L^T - A|_max : {resid:.3e}")
-            print(f"  balance         : measured {met.measured_balance:.3f} "
-                  f"(busy time), work {met.work_balance:.3f}")
-            print(f"  imbalance       : max/mean busy {met.imbalance:.3f}, "
-                  f"work {met.work_imbalance:.3f}")
-            print(f"  messages        : {met.messages_total} measured / "
-                  f"{predicted.messages} predicted "
-                  f"({met.bytes_total / 1e6:.2f} MB)")
-            print(f"  transport       : {met.transport} "
-                  f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
+            if oversub is not None:
+                print(f"  {oversub}")
+            print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms "
+                  f"(factor{'+solve' if rhs is not None else ''})")
+            if phase in ("factor", "both"):
+                print(f"  |L L^T - A|_max : {resid:.3e}")
+                print(f"  balance         : measured "
+                      f"{met.measured_balance:.3f} "
+                      f"(busy time), work {met.work_balance:.3f}")
+                print(f"  imbalance       : max/mean busy "
+                      f"{met.imbalance:.3f}, work {met.work_imbalance:.3f}")
+                print(f"  messages        : {met.messages_total} measured /"
+                      f" {predicted.messages} predicted "
+                      f"({met.bytes_total / 1e6:.2f} MB)")
+                print(f"  transport       : {met.transport} "
+                      f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
+            if rhs is not None:
+                spred = solve_communication_volume(
+                    prep.taskgraph, owners, nrhs=args.nrhs
+                )
+                sresid = float(
+                    np.max(np.abs(prep.symbolic.A @ res.solution - rhs))
+                )
+                busy = sum(w.solve_busy_s for w in met.workers)
+                comm = sum(w.solve_comm_s for w in met.workers)
+                print(f"  solve ({args.nrhs} rhs) : "
+                      f"|A x - b|_max {sresid:.3e} (permuted system)")
+                print(f"  solve time      : busy {busy * 1e3:.1f} ms, "
+                      f"comm {comm * 1e3:.1f} ms across workers")
+                print(f"  solve messages  : {met.solve_messages_total} "
+                      f"measured / {spred.messages} predicted "
+                      f"({met.solve_bytes_total / 1e3:.1f} kB)")
             if schedule == "dynamic":
                 print(f"  stealing        : {met.tasks_stolen_total} "
                       f"migrations / {met.steal_reqs_total} requests "
@@ -225,6 +278,8 @@ def cmd_bench_real(args) -> int:
             print()
     if len(runs) > 1:
         print("mapping comparison (work imbalance, lower is better):")
+        if oversub is not None:
+            print(f"  {oversub}")
         for label, res in sorted(
             runs.items(), key=lambda kv: kv[1].metrics.work_imbalance
         ):
@@ -235,6 +290,8 @@ def cmd_bench_real(args) -> int:
                   f"wall={met.wall_s * 1e3:.1f} ms")
     if len(schedules) == 2:
         print("schedule comparison (dynamic vs static):")
+        if oversub is not None:
+            print(f"  {oversub}")
         for mapping in mappings:
             st = runs.get(f"{mapping}:static")
             dy = runs.get(f"{mapping}:dynamic")
@@ -906,6 +963,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "each mapping under both and compare")
     p.add_argument("--steal-seed", type=int, default=0,
                    help="victim-selection seed for the dynamic schedule")
+    p.add_argument("--phase", default="factor",
+                   choices=("factor", "solve", "both"),
+                   help="run and report the factorization, the "
+                        "distributed triangular solve (factor runs too — "
+                        "the solve needs it — but reporting focuses on "
+                        "the solve), or both")
+    p.add_argument("--nrhs", type=int, default=1,
+                   help="right-hand sides in the solve panel "
+                        "(--phase solve|both)")
+    p.add_argument("--rhs-seed", type=int, default=0,
+                   help="seed for the random solve right-hand sides")
+    p.add_argument("--require-multicore", action="store_true",
+                   help="exit nonzero instead of timing an oversubscribed "
+                        "run (more workers than affinity-visible CPUs) — "
+                        "for CI perf jobs that must not record garbage "
+                        "baselines")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write per-mapping metrics JSON to PATH")
     p.add_argument("--trace-out", default=None, metavar="PATH",

@@ -3,19 +3,169 @@
 ``solve_with_factor`` takes the original (unpermuted) right-hand side,
 applies the factorization permutation, runs forward/backward substitution,
 and un-permutes — i.e. it solves ``A x = b`` given ``P A P^T = L L^T``.
+
+Two factor representations are accepted:
+
+* a sparse ``L`` (``scipy`` triangular solves — the historical path);
+* a :class:`~repro.numeric.blockfact.BlockCholesky` — block-level
+  substitution over the same dense panels the factorization produced.
+
+The block path is the **bitwise reference** for the distributed solve in
+:mod:`repro.runtime`: both sides run the exact same four kernels
+(:func:`fsolve_kernel` / :func:`fupd_kernel` / :func:`bsolve_kernel` /
+:func:`bupd_kernel`) in the same per-panel update order, with every
+operand normalized to C order first, so a distributed solve is
+reproducible float for float against this sequential loop regardless of
+transport, schedule, or worker count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 from scipy import sparse
+from scipy.linalg import solve_triangular
 from scipy.sparse.linalg import spsolve_triangular
 
+from repro.numeric.blockfact import BlockCholesky
 from repro.ordering.base import Ordering
+
+__all__ = [
+    "solve_with_factor",
+    "block_solve_permuted",
+    "block_forward",
+    "block_backward",
+    "fsolve_kernel",
+    "fupd_kernel",
+    "bsolve_kernel",
+    "bupd_kernel",
+    "solve_flops",
+]
+
+
+# ----------------------------------------------------------------------
+# Solve kernels
+#
+# Every operand is forced C-contiguous before the BLAS call: a diagonal
+# block may be F-ordered where it was factored (dpotrf output) but
+# C-ordered where it arrived over a link or out of an arena slot, and
+# LAPACK rounds differently per layout. Normalizing here is what makes
+# the distributed solve bitwise-identical to this sequential reference.
+# ----------------------------------------------------------------------
+
+def fsolve_kernel(Lkk: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``Y_K = L_KK^{-1} B`` (forward solve against a diagonal block)."""
+    return np.ascontiguousarray(
+        solve_triangular(
+            np.ascontiguousarray(Lkk), np.ascontiguousarray(B), lower=True
+        )
+    )
+
+
+def fupd_kernel(Lik: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """``U = L_IK Y_K`` — the forward update a subdiagonal block emits."""
+    return np.ascontiguousarray(Lik) @ np.ascontiguousarray(Y)
+
+
+def bsolve_kernel(Lkk: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``X_K = L_KK^{-T} B`` (backward solve against a diagonal block)."""
+    return np.ascontiguousarray(
+        solve_triangular(
+            np.ascontiguousarray(Lkk), np.ascontiguousarray(B),
+            lower=True, trans=1,
+        )
+    )
+
+
+def bupd_kernel(Lik: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """``U = L_IK^T X_I`` — the backward update a subdiagonal block emits."""
+    return np.ascontiguousarray(Lik).T @ np.ascontiguousarray(X)
+
+
+def solve_flops(rows: int, cols: int, nrhs: int, diag: bool) -> int:
+    """Work charged for one solve task over an ``rows x cols`` block.
+
+    Diagonal blocks charge one triangular solve (``w^2`` multiply-adds per
+    right-hand side); subdiagonal blocks charge the dense multiply
+    (``2 r w`` per right-hand side). Exact integers — the trace replay
+    reconciles these against worker metrics with equality, not tolerance.
+    """
+    if diag:
+        return rows * cols * nrhs
+    return 2 * rows * cols * nrhs
+
+
+# ----------------------------------------------------------------------
+# Sequential block substitution (the distributed solve's reference)
+# ----------------------------------------------------------------------
+
+def block_forward(chol: BlockCholesky, Y: np.ndarray) -> np.ndarray:
+    """In-place forward substitution ``L Y = B`` over block panels.
+
+    ``Y`` is the permuted right-hand side as an ``n x nrhs`` C-ordered
+    array; panels are solved in ascending order and each panel's updates
+    are applied in ascending source-panel order — the canonical order the
+    distributed solve reproduces by parking early arrivals.
+    """
+    st = chol.structure
+    ptr = chol.partition.panel_ptr
+    for k in range(chol.partition.npanels):
+        c0, c1 = int(ptr[k]), int(ptr[k + 1])
+        Yk = fsolve_kernel(chol.diag[k], Y[c0:c1])
+        Y[c0:c1] = Yk
+        brows = st.block_rows[k]
+        for t in range(brows.shape[0]):
+            i = int(brows[t])
+            rows = st.block_row_span(k, t)
+            Y[rows] -= fupd_kernel(chol.below[k][i], Yk)
+    return Y
+
+
+def block_backward(chol: BlockCholesky, X: np.ndarray) -> np.ndarray:
+    """In-place backward substitution ``L^T X = Y`` over block panels.
+
+    Panels complete in descending order; the updates into panel ``K`` are
+    gathered in ascending source-row order before the triangular solve —
+    again exactly the order the distributed solve enforces.
+    """
+    st = chol.structure
+    ptr = chol.partition.panel_ptr
+    for k in range(chol.partition.npanels - 1, -1, -1):
+        c0, c1 = int(ptr[k]), int(ptr[k + 1])
+        B = np.ascontiguousarray(X[c0:c1])
+        brows = st.block_rows[k]
+        for t in range(brows.shape[0]):
+            i = int(brows[t])
+            rows = st.block_row_span(k, t)
+            B -= bupd_kernel(chol.below[k][i], X[rows])
+        X[c0:c1] = bsolve_kernel(chol.diag[k], B)
+    return X
+
+
+def block_solve_permuted(chol: BlockCholesky, pb: np.ndarray) -> np.ndarray:
+    """Forward + backward substitution on an already-permuted RHS.
+
+    Returns a fresh ``n x nrhs`` C-ordered solution in permuted
+    coordinates (the caller un-permutes).
+    """
+    Y = np.array(pb, dtype=np.float64, order="C", copy=True)
+    if Y.ndim == 1:
+        Y = Y.reshape(-1, 1)
+    block_forward(chol, Y)
+    block_backward(chol, Y)
+    return Y
+
+
+def _resolve_perm(ordering) -> np.ndarray | None:
+    if ordering is None:
+        return None
+    return (
+        ordering.perm if isinstance(ordering, Ordering)
+        else np.asarray(ordering)
+    )
 
 
 def solve_with_factor(
-    L: sparse.spmatrix,
+    L: sparse.spmatrix | BlockCholesky,
     b: np.ndarray,
     ordering: Ordering | np.ndarray | None = None,
 ) -> np.ndarray:
@@ -23,14 +173,27 @@ def solve_with_factor(
 
     ``ordering`` is the permutation used during factorization (``None`` for
     identity). Accepts a single vector or a matrix of right-hand sides.
+    ``L`` may be the assembled sparse factor or the
+    :class:`~repro.numeric.blockfact.BlockCholesky` itself; the latter
+    runs the block substitution path that the distributed solve is pinned
+    against bit for bit.
     """
-    L = L.tocsr()
     b = np.asarray(b, dtype=np.float64)
-    if ordering is None:
-        perm = None
-    else:
-        perm = ordering.perm if isinstance(ordering, Ordering) else np.asarray(ordering)
+    perm = _resolve_perm(ordering)
 
+    if isinstance(L, BlockCholesky):
+        one_d = b.ndim == 1
+        pb = b[perm] if perm is not None else b
+        z = block_solve_permuted(L, pb)
+        if one_d:
+            z = z[:, 0]
+        if perm is None:
+            return z
+        x = np.empty_like(z)
+        x[perm] = z
+        return x
+
+    L = L.tocsr()
     pb = b[perm] if perm is not None else b
     y = spsolve_triangular(L, pb, lower=True)
     z = spsolve_triangular(L.T.tocsr(), y, lower=False)

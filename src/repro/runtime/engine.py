@@ -86,6 +86,9 @@ class MPRuntimeResult:
     #: Merged structured trace (:class:`repro.runtime.trace.RunTrace`),
     #: present when the run was started with ``trace=...``.
     trace: RunTrace | None = None
+    #: Distributed-solve output (permuted coordinates, ``n x nrhs``),
+    #: present when the run was started with ``rhs=...``.
+    solution: np.ndarray | None = None
 
     def to_csc(self) -> sparse.csc_matrix:
         return self.factor.to_csc()
@@ -145,8 +148,17 @@ def run_mp_fanout(
     transport: str = "auto",
     schedule: str = "static",
     steal_seed: int = 0,
+    rhs: np.ndarray | None = None,
 ) -> MPRuntimeResult:
     """Factor ``A`` with ``nprocs`` worker processes exchanging messages.
+
+    ``rhs`` (an ``n``-vector or ``n x nrhs`` panel stack, already in
+    permuted coordinates) additionally runs the distributed triangular
+    solve after the factor phase: the factor blocks stay where they were
+    computed and only right-hand-side fragments travel (their own frame
+    kinds and ledger — see ``docs/SOLVING.md``); the assembled solution
+    lands on the result's ``solution`` attribute, bitwise identical to
+    the sequential :func:`repro.numeric.solve.solve_with_factor`.
 
     ``schedule`` selects the execution discipline: ``"static"`` (the
     default) runs every task at its block's owner exactly as mapped;
@@ -215,6 +227,15 @@ def run_mp_fanout(
         if trace_capacity < 0:
             raise ValueError("trace capacity must be non-negative")
 
+    if rhs is not None:
+        rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+        if rhs.ndim == 1:
+            rhs = rhs.reshape(-1, 1)
+        if rhs.ndim != 2 or rhs.shape[0] != A.shape[0]:
+            raise ValueError(
+                f"rhs must be ({A.shape[0]}, nrhs), got {rhs.shape}"
+            )
+
     if start_method is None:
         start_method = (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -230,7 +251,7 @@ def run_mp_fanout(
             trace_capacity, start_method, mapping, fault_plan, recovery,
             checkpoint, dead_grace_s, renegotiate_base_s,
             renegotiate_cap_s, max_renegotiations, retransmit_limit,
-            transport, arena, schedule, steal_seed,
+            transport, arena, schedule, steal_seed, rhs,
         )
     except FanoutError as exc:
         if arena is not None:
@@ -247,7 +268,7 @@ def _run(
     trace_capacity, start_method, mapping, fault_plan, recovery,
     checkpoint, dead_grace_s, renegotiate_base_s, renegotiate_cap_s,
     max_renegotiations, retransmit_limit, transport, arena,
-    schedule="static", steal_seed=0,
+    schedule="static", steal_seed=0, rhs=None,
 ) -> MPRuntimeResult:
     ctx = mp.get_context(start_method)
     fabric = LinkFabric(nprocs, ctx)
@@ -283,6 +304,7 @@ def _run(
             arena_name=arena.name if arena is not None else None,
             schedule=schedule,
             steal_seed=steal_seed,
+            rhs=rhs,
         )
         p = ctx.Process(
             target=worker_main, args=(rank, kwargs), name=f"repro-mp-{rank}"
@@ -358,23 +380,31 @@ def _run(
         transport=transport,
         schedule=schedule,
     )
+    solution = None
+    if rhs is not None:
+        solution = _assemble_solution(structure, rhs, results)
     run_trace = None
     if trace_capacity:
+        nrhs = int(rhs.shape[1]) if rhs is not None else 0
         run_trace = _merge_trace(results, nprocs, mapping, start_method,
-                                 fault_plan, wall_s, schedule)
+                                 fault_plan, wall_s, schedule, nrhs)
+    meta = {
+        "start_method": start_method,
+        "recovery": recovery,
+        "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
+        "transport": transport,
+        "schedule": schedule,
+    }
+    if rhs is not None:
+        meta["nrhs"] = int(rhs.shape[1])
     return MPRuntimeResult(
         factor=factor,
         metrics=metrics,
         owners=owners,
         mapping=mapping,
-        meta={
-            "start_method": start_method,
-            "recovery": recovery,
-            "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
-            "transport": transport,
-            "schedule": schedule,
-        },
+        meta=meta,
         trace=run_trace,
+        solution=solution,
     )
 
 
@@ -387,7 +417,7 @@ def _runtime_grid(nprocs: int):
 
 
 def _merge_trace(results, nprocs, mapping, start_method, fault_plan,
-                 wall_s=None, schedule="static") -> RunTrace:
+                 wall_s=None, schedule="static", nrhs=0) -> RunTrace:
     """Merge worker ring snapshots into one :class:`RunTrace`."""
     grid = _runtime_grid(nprocs)
     attempt = int(fault_plan.attempt) if fault_plan is not None else 0
@@ -399,6 +429,8 @@ def _merge_trace(results, nprocs, mapping, start_method, fault_plan,
         "attempt": attempt,
         "schedule": schedule,
     }
+    if nrhs:
+        meta["nrhs"] = int(nrhs)
     if wall_s is not None:
         meta["wall_s"] = wall_s
     return RunTrace.from_workers(
@@ -422,6 +454,24 @@ def _reap(procs, grace_s: float = 5.0) -> None:
             p.kill()
             p.join(timeout=1.0)
         p.close()
+
+
+def _assemble_solution(structure, rhs, results) -> np.ndarray:
+    """Stack the workers' owned solution panels into the full ``n x nrhs``
+    solution (permuted coordinates; the caller un-permutes)."""
+    ptr = np.asarray(structure.partition.panel_ptr, dtype=np.int64)
+    x = np.empty_like(rhs)
+    seen = 0
+    for res in results.values():
+        for k, panel in (res.solution or {}).items():
+            x[int(ptr[k]) : int(ptr[k + 1])] = panel
+            seen += int(ptr[k + 1] - ptr[k])
+    if seen != rhs.shape[0]:
+        raise FanoutError(
+            f"solve gather incomplete: {seen}/{rhs.shape[0]} rows "
+            "reported", results=results,
+        )
+    return x
 
 
 def _inline_results(results: dict, arena) -> None:

@@ -45,7 +45,8 @@ class Link:
 
     __slots__ = ("src", "dst", "queue", "messages", "bytes", "wire_bytes",
                  "control_messages", "retransmits", "steal_messages",
-                 "steal_bytes", "coalesce", "_pending")
+                 "steal_bytes", "solve_messages", "solve_bytes",
+                 "coalesce", "_pending")
 
     def __init__(self, src: int, dst: int, queue):
         self.src = src
@@ -58,6 +59,8 @@ class Link:
         self.retransmits = 0
         self.steal_messages = 0
         self.steal_bytes = 0
+        self.solve_messages = 0
+        self.solve_bytes = 0
         self.coalesce = False
         self._pending: list[bytes] = []
 
@@ -104,6 +107,21 @@ class Link:
         self.queue.put(frame)
         self.steal_messages += 1
         self.steal_bytes += len(frame)
+
+    def send_solve(self, frame: bytes) -> None:
+        """Put one triangular-solve frame (Y/FUP/X/BUP) on the link.
+
+        The solve phase moves right-hand sides, not factor blocks, so
+        these frames ride their own ledger outside the data counters —
+        the factor-phase ``messages``/``bytes`` stay exactly equal to the
+        static predictor, and the solve ledger reconciles against the
+        solve predictor. RHS fragments always ship inline (even on the
+        shm transport), so logical bytes equal ``len(frame)``. Flushes
+        coalesced data first to preserve ordering."""
+        self.flush_pending()
+        self.queue.put(frame)
+        self.solve_messages += 1
+        self.solve_bytes += len(frame)
 
     def resend(self, frame: bytes, nbytes: int | None = None) -> None:
         """Retransmit a data frame (recovery path): real traffic, counted

@@ -19,8 +19,11 @@ import numpy as np
 
 from repro.util.ascii_chart import bar_chart
 
-#: Timeline categories.
-CATEGORIES = ("busy", "comm", "idle")
+#: Timeline categories. The ``solve_*`` trio mirrors the factor-phase
+#: trio for the triangular-solve phase, so a combined factor+solve run
+#: keeps the two phases' time separately reconcilable.
+CATEGORIES = ("busy", "comm", "idle", "solve_busy", "solve_comm",
+              "solve_idle")
 
 
 class TimelineRecorder:
@@ -132,6 +135,29 @@ class WorkerMetrics:
     steal_bytes_sent: int = 0
     steal_messages_received: int = 0
     steal_bytes_received: int = 0
+    # ------------------------------------------------------------------
+    # Triangular-solve phase counters. All stay zero on a factor-only
+    # run. The solve plane has its own ledger (outside ``messages_*``/
+    # ``bytes_*``) so the factor-phase counters keep reconciling exactly
+    # with the factor predictor, and the solve counters with
+    # :func:`repro.analysis.comm_volume.solve_communication_volume`.
+    # Solve frames always ship inline, so logical == wire bytes here.
+    # ------------------------------------------------------------------
+    solve_tasks_executed: int = 0
+    solve_task_counts: dict[str, int] = field(
+        default_factory=lambda: {"FSOLVE": 0, "FUPD": 0, "BSOLVE": 0,
+                                 "BUPD": 0}
+    )
+    solve_busy_s: float = 0.0
+    solve_comm_s: float = 0.0
+    solve_idle_s: float = 0.0
+    #: Work units executed in the solve phase (see
+    #: :func:`repro.numeric.solve.solve_flops` — exact integers).
+    solve_work_executed: int = 0
+    solve_messages_sent: int = 0
+    solve_bytes_sent: int = 0
+    solve_messages_received: int = 0
+    solve_bytes_received: int = 0
 
     @property
     def recovery_events(self) -> int:
@@ -258,6 +284,22 @@ class RuntimeMetrics:
         return int(sum(w.steal_bytes_sent for w in self.workers))
 
     @property
+    def solve_messages_total(self) -> int:
+        return int(sum(w.solve_messages_sent for w in self.workers))
+
+    @property
+    def solve_bytes_total(self) -> int:
+        return int(sum(w.solve_bytes_sent for w in self.workers))
+
+    @property
+    def solve_tasks_total(self) -> int:
+        return int(sum(w.solve_tasks_executed for w in self.workers))
+
+    @property
+    def solve_work_total(self) -> int:
+        return int(sum(w.solve_work_executed for w in self.workers))
+
+    @property
     def idle_total_s(self) -> float:
         """Summed per-worker idle seconds — the quantity dynamic
         scheduling exists to shrink."""
@@ -346,6 +388,12 @@ class RuntimeMetrics:
                 "work_migrated": self.work_stolen_total,
                 "steal_bytes": self.steal_bytes_total,
                 "idle_s": self.idle_total_s,
+            },
+            "solve": {
+                "tasks": self.solve_tasks_total,
+                "work": self.solve_work_total,
+                "messages": self.solve_messages_total,
+                "bytes": self.solve_bytes_total,
             },
             "extra": self.extra,
             "workers": [w.to_dict() for w in self.workers],

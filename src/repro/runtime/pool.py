@@ -117,7 +117,7 @@ class PatternContext:
 
 @dataclass
 class PoolJob:
-    """One factorization dispatched to the pool.
+    """One factorization (or warm solve) dispatched to the pool.
 
     ``values`` is the csc ``data`` array of the permuted input matrix.
     ``context`` is present exactly when this pool incarnation has not seen
@@ -129,6 +129,14 @@ class PoolJob:
     (``time.monotonic`` is system-wide on Linux, so workers and driver
     agree on it). ``fault_plan`` injects deterministic faults into this
     job's workers — chaos testing for the layers above the pool.
+
+    ``kind="solve"`` runs the distributed triangular solve against the
+    rank's *resident* factor — the :class:`~repro.runtime.worker.Worker`
+    retained from the pattern's last clean factor job. Only ``rhs`` (the
+    permuted right-hand-side panel) travels; no pattern context, no
+    matrix values, no factor blocks. A solve job on a rank with no
+    resident factor fails with a typed protocol error rather than
+    recomputing anything.
     """
 
     seq: int
@@ -140,6 +148,8 @@ class PoolJob:
     trace_capacity: int = 0
     deadline: float | None = None
     fault_plan: object | None = None
+    kind: str = "factor"
+    rhs: np.ndarray | None = None
 
 
 @dataclass
@@ -292,6 +302,9 @@ class _PoolWorker:
         self.router = InboxRouter(fabric.inbox(rank))
         self.patterns: dict[str, tuple] = {}  # pid -> (context, arena)
         self.done_seen: dict[int, set] = {}
+        #: pid -> the Worker of the pattern's last clean factor job,
+        #: retained with its factor blocks for warm solve jobs.
+        self.resident: dict[str, Worker] = {}
 
     # -- lifecycle -----------------------------------------------------
     def run(self) -> None:
@@ -320,6 +333,7 @@ class _PoolWorker:
 
     def _evict(self, pattern_ids) -> None:
         for pid in pattern_ids:
+            self.resident.pop(pid, None)
             ctx_arena = self.patterns.pop(pid, None)
             if ctx_arena is not None and ctx_arena[1] is not None:
                 ctx_arena[1].close()
@@ -340,6 +354,9 @@ class _PoolWorker:
         self.result_queue.put(
             (HEARTBEAT_SEQ, (self.rank, job.seq, time.monotonic()))
         )
+        if getattr(job, "kind", "factor") == "solve":
+            self._run_solve_job(job)
+            return
         entry = self.patterns.get(job.pattern_id)
         if job.context is not None:
             entry = self._install(job.context)
@@ -386,8 +403,52 @@ class _PoolWorker:
             steal_seed=getattr(context, "steal_seed", 0),
         )
         worker.run()
+        # Retain the factored worker for warm solve jobs; a failed or
+        # aborted factor invalidates any previous resident factor too.
+        if worker.metrics.error is None and not worker.metrics.aborted:
+            self.resident[job.pattern_id] = worker
+        else:
+            self.resident.pop(job.pattern_id, None)
         # DONE announcements consumed mid-job by the Worker count toward
         # this job's barrier.
+        if worker.done_peers:
+            self.done_seen.setdefault(job.seq, set()).update(
+                worker.done_peers
+            )
+        if job.announce:
+            self._announce(job.seq)
+
+    def _run_solve_job(self, job: PoolJob) -> None:
+        """Warm solve: re-arm the pattern's resident factored worker.
+
+        Only the RHS panel travelled in the job; the factor blocks are
+        already in this process (arena slots on shm, local arrays
+        inline), so the wire sees RHS fragments and nothing else.
+        """
+        worker = self.resident.get(job.pattern_id)
+        if worker is None:
+            self._report_error(
+                job.seq,
+                f"worker {self.rank} has no resident factor for pattern "
+                f"{job.pattern_id!r} (factor before solving, and note "
+                f"restarts clear residency)",
+            )
+            return
+        if job.wait_for is not None:
+            try:
+                self._await_done(job.wait_for)
+            except RuntimeError:
+                import traceback
+
+                self._report_error(job.seq, traceback.format_exc())
+                return
+        worker.run_solve(
+            job.rhs,
+            JobFabric(self.fabric, self.router, job.seq),
+            _TaggedQueue(self.result_queue, job.seq),
+            trace_capacity=job.trace_capacity,
+            fault_plan=job.fault_plan,
+        )
         if worker.done_peers:
             self.done_seen.setdefault(job.seq, set()).update(
                 worker.done_peers

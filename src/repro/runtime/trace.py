@@ -60,7 +60,10 @@ import json
 from dataclasses import dataclass, field
 
 #: Span categories, in the order they map onto the metrics timeline.
-SPAN_CATEGORIES = ("task", "send", "recv", "comm", "idle", "steal")
+#: The ``solve_*`` categories mirror the factor-phase ones for the
+#: triangular-solve phase (a solve span never lands in a factor bucket).
+SPAN_CATEGORIES = ("task", "send", "recv", "comm", "idle", "steal",
+                   "solve_task", "solve_send", "solve_recv", "solve_idle")
 
 #: Instant-event category.
 MARK = "mark"
@@ -68,6 +71,7 @@ MARK = "mark"
 #: Timeline bucket each span category reconciles into (see
 #: :mod:`repro.analysis.trace_replay`): ``task`` is busy time; ``send``,
 #: ``recv``, ``comm`` and ``steal`` are comm time; ``idle`` is idle time.
+#: Solve spans reconcile into the dedicated solve buckets.
 TIMELINE_BUCKET = {
     "task": "busy",
     "send": "comm",
@@ -75,6 +79,10 @@ TIMELINE_BUCKET = {
     "comm": "comm",
     "steal": "comm",
     "idle": "idle",
+    "solve_task": "solve_busy",
+    "solve_send": "solve_comm",
+    "solve_recv": "solve_comm",
+    "solve_idle": "solve_idle",
 }
 
 #: Default ring capacity (events per worker). Small runs use a few
@@ -378,9 +386,11 @@ class RunTrace:
             f"({'#'} busy, {'~'} comm, {'.'} idle, {'!'} fault/recovery)"
         ]
         prio = {MARK: 3, "task": 2, "send": 1, "recv": 1, "comm": 1,
-                "steal": 1, "idle": 0}
+                "steal": 1, "idle": 0, "solve_task": 2, "solve_send": 1,
+                "solve_recv": 1, "solve_idle": 0}
         glyph = {MARK: "!", "task": "#", "send": "~", "recv": "~",
-                 "comm": "~", "steal": "~", "idle": "."}
+                 "comm": "~", "steal": "~", "idle": ".", "solve_task": "#",
+                 "solve_send": "~", "solve_recv": "~", "solve_idle": "."}
         for rank in sorted(lanes):
             best = [-1] * width
             chars = [" "] * width

@@ -63,6 +63,24 @@ Steal frames ride a *reliable* plane: they are not in ``DATA_KINDS``, so
 the fault injector never drops/corrupts them, and they are counted in a
 separate steal ledger so ``messages``/``bytes`` stay exactly equal to
 the static communication-volume prediction.
+
+``SOLVE_Y`` / ``SOLVE_X``
+    Triangular-solve phase: a solved right-hand-side panel fanned out to
+    the owners of the blocks that consume it (forward / backward
+    respectively). ``block`` carries the *panel* index; the payload is the
+    full ``w x nrhs`` panel. Factor blocks never ride these frames — the
+    solve phase reads them where they already live.
+``SOLVE_FUP`` / ``SOLVE_BUP``
+    Triangular-solve phase: one block's update contribution shipped to the
+    destination panel's diagonal owner (forward / backward). ``block``
+    carries the global *block* index so the receiver can place the update
+    in the canonical accumulation order.
+
+Solve frames form their own ledger (``SOLVE_KINDS``): like the steal
+plane they are outside ``DATA_KINDS`` (the solve phase moves right-hand
+sides, not factor blocks), and their logical bytes always equal their
+wire bytes — RHS panels are small and never get arena slots, so even the
+shm transport ships them inline.
 """
 
 from __future__ import annotations
@@ -76,6 +94,7 @@ import numpy as np
 #: Frame kinds.
 BLOCK, ABORT, NACK, DONE, BLOCK_REF = 1, 2, 3, 4, 5
 STEAL_REQ, STEAL_GRANT, STEAL_DENY, STEAL_SHIP, STEAL_RESULT = 6, 7, 8, 9, 10
+SOLVE_Y, SOLVE_FUP, SOLVE_X, SOLVE_BUP = 11, 12, 13, 14
 
 #: Payload-free control kinds (never fault-injected, never CRC-protected
 #: payloads — there is no payload).
@@ -92,6 +111,11 @@ STEAL_KINDS = (STEAL_REQ, STEAL_GRANT, STEAL_DENY, STEAL_SHIP, STEAL_RESULT)
 
 #: Steal kinds that carry a block-state payload (framed like ``BLOCK``).
 _STEAL_PAYLOAD_KINDS = (STEAL_GRANT, STEAL_SHIP, STEAL_RESULT)
+
+#: Triangular-solve plane: RHS panel fragments and update contributions.
+#: Outside ``DATA_KINDS`` (no factor blocks ride here) and counted in
+#: their own solve ledger; logical bytes == wire bytes on every transport.
+SOLVE_KINDS = (SOLVE_Y, SOLVE_FUP, SOLVE_X, SOLVE_BUP)
 
 #: Wire header prefix: magic, kind, src rank, block id, rows, cols,
 #: payload words. The CRC32 field follows immediately after.
@@ -271,6 +295,40 @@ def pack_steal_ship(src: int, block: int, I: int, J: int,
     return _pack_state(STEAL_SHIP, src, block, I == J, array)
 
 
+def _pack_solve(kind: int, src: int, ref: int, array: np.ndarray) -> bytes:
+    """Frame a solve-phase payload: always the full ``rows x nrhs``
+    fragment (never triangle-packed — these are right-hand sides)."""
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("solve payload must be a 2-D array")
+    rows, cols = arr.shape
+    return _frame(kind, src, ref, rows, cols, arr.ravel().tobytes())
+
+
+def pack_solve_y(src: int, panel: int, array: np.ndarray) -> bytes:
+    """Serialize a SOLVE_Y: forward-solved panel ``panel`` fanned out to
+    the owners of the subdiagonal blocks in its column."""
+    return _pack_solve(SOLVE_Y, src, panel, array)
+
+
+def pack_solve_fup(src: int, block: int, array: np.ndarray) -> bytes:
+    """Serialize a SOLVE_FUP: block ``block``'s forward update shipped to
+    its destination panel's diagonal owner."""
+    return _pack_solve(SOLVE_FUP, src, block, array)
+
+
+def pack_solve_x(src: int, panel: int, array: np.ndarray) -> bytes:
+    """Serialize a SOLVE_X: backward-solved panel ``panel`` fanned out to
+    the owners of the blocks in its row."""
+    return _pack_solve(SOLVE_X, src, panel, array)
+
+
+def pack_solve_bup(src: int, block: int, array: np.ndarray) -> bytes:
+    """Serialize a SOLVE_BUP: block ``block``'s backward update shipped to
+    its source panel's diagonal owner."""
+    return _pack_solve(SOLVE_BUP, src, block, array)
+
+
 def unpack(frame: bytes, verify: bool = True, copy: bool = True) -> WireMessage:
     """Decode one frame back into a :class:`WireMessage`.
 
@@ -332,7 +390,11 @@ def unpack(frame: bytes, verify: bool = True, copy: bool = True) -> WireMessage:
             )
     if kind in CONTROL_KINDS:
         return WireMessage(kind, src, block, 0, 0, None)
-    if kind != BLOCK and kind not in _STEAL_PAYLOAD_KINDS:
+    if (
+        kind != BLOCK
+        and kind not in _STEAL_PAYLOAD_KINDS
+        and kind not in SOLVE_KINDS
+    ):
         raise WireError(f"unknown frame kind {kind}")
     words = np.frombuffer(frame, dtype="<f8", count=nwords, offset=HEADER_BYTES)
     if nwords == rows * (rows + 1) // 2 and rows == cols and nwords != rows * cols:

@@ -46,14 +46,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.numeric.blockfact import BlockCholesky
+from repro.numeric.solve import (
+    bsolve_kernel,
+    bupd_kernel,
+    fsolve_kernel,
+    fupd_kernel,
+    solve_flops,
+)
 from repro.fanout.tasks import BDIV, BFAC, BMOD
 from repro.runtime import wire
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.metrics import TimelineRecorder, WorkerMetrics
 from repro.runtime.scheduler import ReadyScheduler
+from repro.runtime.solve_plan import SolvePlan
 from repro.runtime.trace import TraceRecorder, WorkerTrace
 
 _KIND_NAMES = {BFAC: "BFAC", BDIV: "BDIV", BMOD: "BMOD"}
+
+#: Solve-phase task kinds (worker-internal ids; see ``_solve_tid``).
+_FSOLVE, _FUPD, _BSOLVE, _BUPD = 0, 1, 2, 3
+_SOLVE_KIND_NAMES = {_FSOLVE: "FSOLVE", _FUPD: "FUPD",
+                     _BSOLVE: "BSOLVE", _BUPD: "BUPD"}
 
 
 class _Abort(Exception):
@@ -70,6 +83,9 @@ class WorkerResult:
     metrics: WorkerMetrics
     frames: list[bytes]
     trace: WorkerTrace | None = None
+    #: Solve-phase output: owned panel id -> dense ``w x nrhs`` solution
+    #: fragment (permuted coordinates). ``None`` when no solve ran.
+    solution: dict[int, np.ndarray] | None = None
 
 
 class Worker:
@@ -112,6 +128,7 @@ class Worker:
         inline_gather: bool = False,
         schedule: str = "static",
         steal_seed: int = 0,
+        rhs: np.ndarray | None = None,
     ):
         self.rank = rank
         self.structure = structure
@@ -150,6 +167,14 @@ class Worker:
         #: the result — ownership of the *update* migrates, never the block.
         self.schedule = schedule
         self.steal_seed = steal_seed
+        #: Right-hand side panel stack (already permuted, full ``n x nrhs``
+        #: float64). When given, the worker runs the distributed triangular
+        #: solve after the factor phase and ships its owned solution panels
+        #: home in :attr:`WorkerResult.solution`.
+        self.rhs = None if rhs is None else np.ascontiguousarray(
+            rhs, dtype=np.float64
+        )
+        self.record_timeline = record_timeline
         self.metrics = WorkerMetrics(rank=rank)
         self.timeline = TimelineRecorder(enabled=record_timeline)
         #: Structured event recorder, or None (tracing off — the hot path
@@ -159,10 +184,14 @@ class Worker:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Execute the event loop and ship the result; never raises."""
+        solution = None
         try:
             self._setup()
             self._loop()
             self._linger()
+            if self.rhs is not None:
+                self._solve_loop()
+                solution = self._solution_panels
             frames = self._gather_frames()
         except _Abort:
             self.metrics.aborted = True
@@ -174,7 +203,7 @@ class Worker:
         self._finalize()
         trace = None if self.trace is None else self.trace.snapshot(self.rank)
         self.result_queue.put(
-            WorkerResult(self.rank, self.metrics, frames, trace)
+            WorkerResult(self.rank, self.metrics, frames, trace, solution)
         )
         if self.metrics.error is not None or self.metrics.aborted:
             # Don't hang at exit flushing frames to peers that may be gone.
@@ -272,6 +301,13 @@ class Worker:
         diag_ids = np.flatnonzero(diag)
         self._diag_block = np.full(tg.npanels, -1, dtype=np.int64)
         self._diag_block[tg.block_J[diag_ids]] = diag_ids
+        # --- solve-phase state ----------------------------------------
+        # Initialized during factor setup because solve frames may arrive
+        # while this rank is still factoring (a fast peer enters its solve
+        # loop as soon as its own factor tasks are done).
+        self._phase = "factor"
+        if self.rhs is not None:
+            self._solve_init()
 
     def _crash_config(self) -> tuple[int | None, bool]:
         if (
@@ -418,18 +454,19 @@ class Worker:
 
     def _wait_for_message(self) -> bool:
         t0 = self._now()
+        cat = "solve_idle" if self._phase == "solve" else "idle"
         try:
             item = self.inbox.get(timeout=self.poll_s)
         except queue_mod.Empty:
             t1 = self._now()
-            self.timeline.add("idle", t0, t1)
+            self.timeline.add(cat, t0, t1)
             if self.trace is not None:
-                self.trace.span("idle", "idle", t0, t1)
+                self.trace.span(cat, "idle", t0, t1)
             return False
         t1 = self._now()
-        self.timeline.add("idle", t0, t1)
+        self.timeline.add(cat, t0, t1)
         if self.trace is not None:
-            self.trace.span("idle", "idle", t0, t1)
+            self.trace.span(cat, "idle", t0, t1)
         return self._handle_item(item)
 
     def _handle_frame(self, frame: bytes) -> bool:
@@ -532,6 +569,17 @@ class Worker:
                 self._steal_round += 1
                 return self._handle_steal_grant(msg, t0)
             return self._handle_steal_result(msg, t0)
+        if msg.kind in wire.SOLVE_KINDS:
+            # Solve plane: its own ledger, fully inline payloads, so
+            # logical bytes == wire bytes by construction.
+            if self.rhs is None:
+                raise RuntimeError(
+                    f"worker {self.rank} received a solve frame "
+                    f"(kind={msg.kind}) but carries no right-hand side"
+                )
+            m.solve_messages_received += 1
+            m.solve_bytes_received += len(frame)
+            return self._handle_solve_msg(msg, len(frame), t0)
         # Logical bytes (what the predictor charges) vs wire bytes (what
         # actually crossed the queue — 64 for a descriptor).
         m.messages_received += 1
@@ -678,6 +726,366 @@ class Worker:
                     f"never reported DONE within "
                     f"{self.stall_timeout_s:.0f}s"
                 )
+
+    # ------------------------------------------------------------------
+    # Distributed triangular solve (see docs/SOLVING.md)
+    # ------------------------------------------------------------------
+    # The factor never moves: FSOLVE/BSOLVE run where the diagonal block
+    # lives, FUPD/BUPD run where the subdiagonal block lives, and only
+    # right-hand-side fragments cross the wire (SOLVE_Y/X panel
+    # broadcasts, SOLVE_FUP/BUP update fragments). Updates into a panel
+    # are applied in ascending source order — exactly the sequential
+    # reference's order — so the distributed solution is bitwise the
+    # sequential one on every transport, schedule, and process count.
+
+    def _solve_tid(self, kind: int, ident: int) -> int:
+        return kind * self.tg.nblocks + ident
+
+    def _push_solve(self, kind: int, ident: int) -> None:
+        self.solve_scheduler.push(self._solve_tid(kind, ident))
+
+    def _solve_init(self) -> None:
+        tg = self.tg
+        if self.rhs.ndim == 1:
+            self.rhs = self.rhs.reshape(-1, 1)
+        self.splan = sp = SolvePlan(self.structure, tg)
+        n = int(sp.panel_ptr[-1])
+        if self.rhs.shape[0] != n:
+            raise ValueError(
+                f"rhs has {self.rhs.shape[0]} rows, matrix has {n}"
+            )
+        self.nrhs = int(self.rhs.shape[1])
+        rank = self.rank
+        own_diag = [
+            k
+            for k in range(sp.npanels)
+            if int(self.owners[sp.diag_block[k]]) == rank
+        ]
+        self._own_diag = set(own_diag)
+        #: Forward accumulation buffers for owned panels (start as the
+        #: permuted rhs fragment; updates subtract in canonical order;
+        #: FSOLVE replaces the buffer with the solved panel).
+        self._ypanel = {}
+        for k in own_diag:
+            c0, c1 = int(sp.panel_ptr[k]), int(sp.panel_ptr[k + 1])
+            self._ypanel[k] = np.array(self.rhs[c0:c1])
+        self._fwd_next = dict.fromkeys(own_diag, 0)
+        self._fwd_pending: dict[int, dict[int, np.ndarray]] = {
+            k: {} for k in own_diag
+        }
+        self._bwd_next = dict.fromkeys(own_diag, 0)
+        self._bwd_pending: dict[int, dict[int, np.ndarray]] = {
+            k: {} for k in own_diag
+        }
+        #: Backward accumulation buffers (created when FSOLVE completes,
+        #: seeded from the solved forward panel — the sequential B).
+        self._xbuf: dict[int, np.ndarray] = {}
+        self._fsolve_done: set[int] = set()
+        #: Final forward panels available locally (own or received).
+        self._y_have: dict[int, np.ndarray] = {}
+        #: Final solution panels available locally (own or received).
+        self._x_have: dict[int, np.ndarray] = {}
+        #: Owned solution panels shipped home in the WorkerResult.
+        self._solution_panels: dict[int, np.ndarray] = {}
+        self.solve_scheduler = ReadyScheduler(None)
+        self.n_solve_owned = sp.owned_task_count(self.owners, rank)
+        self.solve_executed = 0
+        for k in own_diag:
+            if sp.fwd_count[k] == 0:
+                self._push_solve(_FSOLVE, k)
+
+    def _solve_diag_owner(self, panel: int) -> int:
+        return int(self.owners[self.splan.diag_block[panel]])
+
+    def _solve_loop(self) -> None:
+        self._phase = "solve"
+        last_progress = self._now()
+        while self.solve_executed < self.n_solve_owned:
+            progressed = self._drain_inbox()
+            if self.solve_scheduler:
+                stid = self.solve_scheduler.pop()
+                self._solve_execute(stid)
+                progressed = True
+            elif not progressed:
+                progressed = self._wait_for_message()
+            now = self._now()
+            if progressed:
+                last_progress = now
+            elif now - last_progress > self.stall_timeout_s:
+                raise RuntimeError(
+                    f"worker {self.rank} stalled in solve: "
+                    f"{self.solve_executed}/{self.n_solve_owned} solve "
+                    f"tasks done, no messages for "
+                    f"{self.stall_timeout_s:.0f}s (deadlock?)"
+                )
+        self._flush_pending()
+
+    def _y_ready(self, k: int, panel: np.ndarray) -> None:
+        """Forward panel ``Y_k`` is final here; wake owned FUPDs of
+        column k."""
+        self._y_have[k] = panel
+        sp = self.splan
+        for b in sp.col_blocks[k]:
+            if int(self.owners[int(b)]) == self.rank:
+                self._push_solve(_FUPD, int(b))
+
+    def _x_ready(self, i: int, panel: np.ndarray) -> None:
+        """Solution panel ``X_i`` is final here; wake owned BUPDs of
+        row i."""
+        self._x_have[i] = panel
+        sp = self.splan
+        for b in sp.row_blocks[i]:
+            if int(self.owners[int(b)]) == self.rank:
+                self._push_solve(_BUPD, int(b))
+
+    def _fwd_deliver(self, i: int, b: int, u: np.ndarray) -> None:
+        """Park a forward update into panel ``i`` and apply every parked
+        update that is next in canonical (ascending-source) order."""
+        self._fwd_pending[i][b] = u
+        sp = self.splan
+        order = sp.row_blocks[i]
+        idx = self._fwd_next[i]
+        pend = self._fwd_pending[i]
+        Y = self._ypanel[i]
+        while idx < order.shape[0]:
+            nxt = int(order[idx])
+            w = pend.pop(nxt, None)
+            if w is None:
+                break
+            Y[sp.block_ridx[nxt]] -= w
+            idx += 1
+        self._fwd_next[i] = idx
+        if idx == order.shape[0]:
+            self._push_solve(_FSOLVE, i)
+
+    def _bwd_deliver(self, k: int, b: int, u: np.ndarray) -> None:
+        """Backward mirror of :meth:`_fwd_deliver` (ascending destination
+        order down column ``k``); releases BSOLVE(k) when the buffer has
+        absorbed every update."""
+        self._bwd_pending[k][b] = u
+        self._bwd_drain(k)
+
+    def _bwd_drain(self, k: int) -> None:
+        B = self._xbuf.get(k)
+        if B is None:
+            # FSOLVE(k) has not run; causally impossible for a remote
+            # update, but the drain is re-run right after FSOLVE anyway.
+            return
+        sp = self.splan
+        order = sp.col_blocks[k]
+        idx = self._bwd_next[k]
+        pend = self._bwd_pending[k]
+        while idx < order.shape[0]:
+            nxt = int(order[idx])
+            u = pend.pop(nxt, None)
+            if u is None:
+                break
+            B -= u
+            idx += 1
+        self._bwd_next[k] = idx
+        if idx == order.shape[0] and k in self._fsolve_done:
+            self._push_solve(_BSOLVE, k)
+
+    def _handle_solve_msg(self, msg: wire.WireMessage, nbytes: int,
+                          t0: float) -> bool:
+        sp = self.splan
+        if msg.kind == wire.SOLVE_Y:
+            k = msg.block
+            self._y_ready(k, np.asarray(msg.payload))
+            name = f"y({k})"
+        elif msg.kind == wire.SOLVE_X:
+            i = msg.block
+            self._x_ready(i, np.asarray(msg.payload))
+            name = f"x({i})"
+        elif msg.kind == wire.SOLVE_FUP:
+            b = msg.block
+            i = int(sp.block_I[b])
+            self._fwd_deliver(i, b, np.asarray(msg.payload))
+            name = f"fup({i},{int(sp.block_J[b])})"
+        else:  # SOLVE_BUP
+            b = msg.block
+            k = int(sp.block_J[b])
+            self._bwd_deliver(k, b, np.asarray(msg.payload))
+            name = f"bup({int(sp.block_I[b])},{k})"
+        t1 = self._now()
+        self.timeline.add("solve_comm", t0, t1)
+        if self.trace is not None:
+            self.trace.span("solve_recv", name, t0, t1,
+                            {"src": msg.src, "bytes": nbytes})
+        return True
+
+    def _solve_fan_out(self, frame: bytes, target_owners: np.ndarray,
+                       name: str) -> None:
+        """Send one solve frame to each distinct remote owner."""
+        remote = np.unique(target_owners[target_owners != self.rank])
+        if remote.size == 0:
+            return
+        t0 = self._now()
+        for dst in remote:
+            self.links[int(dst)].send_solve(frame)
+        t1 = self._now()
+        self.timeline.add("solve_comm", t0, t1)
+        if self.trace is not None:
+            self.trace.span("solve_send", name, t0, t1,
+                            {"bytes": len(frame),
+                             "targets": [int(d) for d in remote]})
+
+    def _solve_send(self, frame: bytes, dst: int, name: str) -> None:
+        t0 = self._now()
+        self.links[dst].send_solve(frame)
+        t1 = self._now()
+        self.timeline.add("solve_comm", t0, t1)
+        if self.trace is not None:
+            self.trace.span("solve_send", name, t0, t1,
+                            {"bytes": len(frame), "targets": [dst]})
+
+    def _solve_execute(self, stid: int) -> None:
+        tg = self.tg
+        sp = self.splan
+        kind, ident = divmod(stid, tg.nblocks)
+        m = self.metrics
+        t0 = self._now()
+        if kind == _FSOLVE:
+            k = ident
+            w = int(sp.widths[k])
+            panel = fsolve_kernel(self.chol.diag[k], self._ypanel[k])
+            self._ypanel[k] = panel
+            t1 = self._now()
+            work = solve_flops(w, w, self.nrhs, diag=True)
+            name = f"FSOLVE({k})"
+        elif kind == _FUPD:
+            b = ident
+            i, k = int(sp.block_I[b]), int(sp.block_J[b])
+            u = fupd_kernel(self.chol.below[k][i], self._y_have[k])
+            t1 = self._now()
+            rows = sp.block_rows_count(b)
+            work = solve_flops(rows, int(sp.widths[k]), self.nrhs,
+                               diag=False)
+            name = f"FUPD({i},{k})"
+        elif kind == _BSOLVE:
+            k = ident
+            w = int(sp.widths[k])
+            panel = bsolve_kernel(self.chol.diag[k], self._xbuf[k])
+            t1 = self._now()
+            work = solve_flops(w, w, self.nrhs, diag=True)
+            name = f"BSOLVE({k})"
+        else:  # _BUPD
+            b = ident
+            i, k = int(sp.block_I[b]), int(sp.block_J[b])
+            u = bupd_kernel(self.chol.below[k][i],
+                            self._x_have[i][sp.block_ridx[b]])
+            t1 = self._now()
+            rows = sp.block_rows_count(b)
+            work = solve_flops(rows, int(sp.widths[k]), self.nrhs,
+                               diag=False)
+            name = f"BUPD({i},{k})"
+        self.timeline.add("solve_busy", t0, t1)
+        m.solve_tasks_executed += 1
+        m.solve_task_counts[_SOLVE_KIND_NAMES[kind]] += 1
+        m.solve_work_executed += work
+        self.solve_executed += 1
+        if self.trace is not None:
+            self.trace.span("solve_task", name, t0, t1,
+                            {"id": ident, "work": work})
+        if self._slow_s > 0.0:
+            if self.injector is not None:
+                self.injector.injected["slow"] += 1
+            if self.trace is not None:
+                self.trace.mark("slow", self._now(), {"s": self._slow_s})
+            time.sleep(self._slow_s)
+        if (
+            self._crash_after is not None
+            and self.executed + self.solve_executed >= self._crash_after
+        ):
+            if self.trace is not None:
+                self.trace.mark(
+                    "crash", self._now(),
+                    {"after": self.executed + self.solve_executed,
+                     "hard": self._crash_hard, "phase": "solve"},
+                )
+            if self._crash_hard:
+                os._exit(17)
+            raise RuntimeError(
+                f"injected failure on worker {self.rank} after "
+                f"{self.solve_executed} solve tasks"
+            )
+        # Post-task bookkeeping and fan-out.
+        if kind == _FSOLVE:
+            self._fsolve_done.add(k)
+            self._xbuf[k] = panel.copy()
+            self._solve_fan_out(
+                wire.pack_solve_y(self.rank, k, panel),
+                self.owners[sp.col_blocks[k]],
+                f"y({k})",
+            )
+            self._y_ready(k, panel)
+            self._bwd_drain(k)
+        elif kind == _FUPD:
+            dst = self._solve_diag_owner(i)
+            if dst == self.rank:
+                self._fwd_deliver(i, b, u)
+            else:
+                self._solve_send(
+                    wire.pack_solve_fup(self.rank, b, u), dst,
+                    f"fup({i},{k})",
+                )
+        elif kind == _BSOLVE:
+            self._solution_panels[k] = panel
+            self._solve_fan_out(
+                wire.pack_solve_x(self.rank, k, panel),
+                self.owners[sp.row_blocks[k]],
+                f"x({k})",
+            )
+            self._x_ready(k, panel)
+        else:  # _BUPD
+            dst = self._solve_diag_owner(k)
+            if dst == self.rank:
+                self._bwd_deliver(k, b, u)
+            else:
+                self._solve_send(
+                    wire.pack_solve_bup(self.rank, b, u), dst,
+                    f"bup({i},{k})",
+                )
+
+    def run_solve(self, rhs, fabric, result_queue, trace_capacity: int = 0,
+                  fault_plan: FaultPlan | None = None) -> None:
+        """Re-arm a retained, already-factored worker for one warm solve
+        job (the persistent pool's path): fresh fabric, fresh metrics and
+        trace, only right-hand-side values in and solution panels out —
+        the factor stays resident and ships zero bytes."""
+        self.fabric = fabric
+        self.inbox = fabric.inbox(self.rank)
+        self.links = fabric.outgoing(self.rank)
+        self.result_queue = result_queue
+        self.rhs = np.ascontiguousarray(rhs, dtype=np.float64)
+        self.metrics = WorkerMetrics(rank=self.rank)
+        self.timeline = TimelineRecorder(enabled=self.record_timeline)
+        self.trace = TraceRecorder(trace_capacity) if trace_capacity else None
+        self.done_peers = set()
+        self.fault_plan = fault_plan
+        self.injector = None
+        self._crash_after, self._crash_hard = self._crash_config()
+        self._slow_s = (
+            fault_plan.slow_for(self.rank) if fault_plan else 0.0
+        )
+        solution = None
+        try:
+            self._solve_init()
+            self._solve_loop()
+            solution = self._solution_panels
+        except _Abort:
+            self.metrics.aborted = True
+        except BaseException:  # noqa: BLE001 - reported to the driver
+            self.metrics.error = traceback.format_exc()
+            self._broadcast_abort()
+        self._finalize()
+        trace = None if self.trace is None else self.trace.snapshot(self.rank)
+        self.result_queue.put(
+            WorkerResult(self.rank, self.metrics, [], trace, solution)
+        )
+        if self.metrics.error is not None or self.metrics.aborted:
+            for link in self.links.values():
+                link.queue.cancel_join_thread()
 
     # ------------------------------------------------------------------
     # Work stealing (dynamic schedule)
@@ -1140,6 +1548,9 @@ class Worker:
         m.busy_s = self.timeline.totals["busy"]
         m.comm_s = self.timeline.totals["comm"]
         m.idle_s = self.timeline.totals["idle"]
+        m.solve_busy_s = self.timeline.totals["solve_busy"]
+        m.solve_comm_s = self.timeline.totals["solve_comm"]
+        m.solve_idle_s = self.timeline.totals["solve_idle"]
         m.timeline = list(self.timeline.segments)
         for dst, link in getattr(self, "links", {}).items():
             if link.messages:
@@ -1148,6 +1559,8 @@ class Worker:
             m.control_sent += link.control_messages
             m.steal_messages_sent += link.steal_messages
             m.steal_bytes_sent += link.steal_bytes
+            m.solve_messages_sent += link.solve_messages
+            m.solve_bytes_sent += link.solve_bytes
         m.messages_sent = sum(v[0] for v in m.links.values())
         m.bytes_sent = sum(v[1] for v in m.links.values())
         injector = getattr(self, "injector", None)

@@ -50,6 +50,7 @@ from repro.service.jobs import (
     ServiceClosed,
     ServiceError,
     ServiceUnavailable,
+    SolveResult,
     UnknownPatternError,
     ValidationFailed,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "ServiceMetrics",
     "ServiceServer",
     "ServiceUnavailable",
+    "SolveResult",
     "UnknownPatternError",
     "ValidationFailed",
     "pattern_digest",

@@ -63,6 +63,14 @@ class PatternEntry:
     #: ("static" | "dynamic") and the steal-victim seed for the latter.
     schedule: str = "static"
     steal_seed: int = 0
+    #: Assembled :class:`~repro.numeric.BlockCholesky` of the pattern's
+    #: last successful factor job — the sequential fallback (and bitwise
+    #: reference) for solve requests.
+    last_factor: object | None = field(default=None, repr=False)
+    #: Pool generation whose resident workers still hold this pattern's
+    #: factor blocks (-1 = none). Any pool restart/heal/regrow bumps the
+    #: generation, so stale residency can never be mistaken for warm.
+    resident_generation: int = -1
     #: All-zero matrix in the pattern's shape — the assembly shell
     #: (every block is overwritten by gathered frames).
     _empty: sparse.csc_matrix | None = field(default=None, repr=False)

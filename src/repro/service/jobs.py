@@ -159,10 +159,38 @@ class JobResult:
     record: object | None = None
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` with this factor."""
+        """Solve ``A x = b`` with this factor (locally, in-process; for
+        the distributed solve on the service's resident factor use
+        :meth:`FactorService.solve <repro.service.FactorService.solve>`)."""
         from repro.numeric import solve_with_factor
 
-        return solve_with_factor(self.L, b, self.perm)
+        return solve_with_factor(
+            self.factor if self.factor is not None else self.L,
+            b,
+            self.perm,
+        )
+
+
+@dataclass
+class SolveResult:
+    """What the service hands back for one completed solve request."""
+
+    job_id: str
+    pattern_id: str
+    #: Solution, client row order, same shape as the request's ``b``.
+    x: np.ndarray
+    #: ``"clean"`` (warm distributed solve on the pool's resident
+    #: factor — only RHS values travelled) or ``"degraded_sequential"``
+    #: (sequential block fallback — bitwise-identical result). Tags from
+    #: :mod:`repro.runtime.recovery`.
+    outcome: str = "clean"
+    #: Per-worker :class:`~repro.runtime.metrics.RuntimeMetrics` of the
+    #: warm distributed solve (None on the sequential fallback).
+    metrics: object | None = None
+    #: Merged :class:`~repro.runtime.trace.RunTrace` when tracing is on.
+    trace: object | None = None
+    #: The service-side :class:`~repro.service.metrics.JobRecord`.
+    record: object | None = None
 
 
 class JobHandle:

@@ -51,6 +51,8 @@ from repro.service.jobs import (
     JobHandle,
     JobResult,
     ServiceClosed,
+    ServiceUnavailable,
+    SolveResult,
     UnknownPatternError,
     ValidationFailed,
 )
@@ -186,7 +188,13 @@ class FactorService:
         self._dedup_lock = threading.Lock()
         self._outstanding: dict[str, JobHandle] = {}
         self._completed: OrderedDict[str, JobResult] = OrderedDict()
+        self._completed_solves: OrderedDict[str, SolveResult] = OrderedDict()
         self._dedup_capacity = max(0, int(dedup_capacity))
+        #: Serializes pool dispatch between the dispatcher thread (factor
+        #: batches) and client threads (:meth:`solve`): a solve job must
+        #: never interleave with a factor batch that could overwrite the
+        #: resident factor's arena slots mid-sweep.
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -328,6 +336,186 @@ class FactorService:
         """Submit and wait — the one-call path."""
         return self.submit(A, **kw).result(timeout)
 
+    def solve(
+        self,
+        b: np.ndarray,
+        pattern_id: str,
+        job_id: str | None = None,
+        deadline_s: float | None = None,
+        fault_plan=None,
+    ) -> SolveResult:
+        """Solve ``A x = b`` against the pattern's resident factor.
+
+        The warm path dispatches a distributed triangular solve to the
+        pool workers that still hold the pattern's factor blocks from its
+        last factor job — only the permuted RHS panel travels; no pattern
+        context, no matrix values, no factor bytes. When residency was
+        lost (pool heal/restart/regrow) or the pool job fails — e.g. a
+        worker killed mid-solve — the service falls back to the retained
+        driver-side factor and solves sequentially: the result is
+        bitwise-identical either way, and :attr:`SolveResult.outcome`
+        says which route ran (``"clean"`` vs ``"degraded_sequential"``).
+
+        Typed errors, never hangs: :class:`UnknownPatternError` for an
+        uncached pattern, :class:`JobFailed` for a pattern with no
+        completed factor or a bad RHS shape, :class:`ServiceUnavailable`
+        while the circuit breaker is open, :class:`DeadlineExceeded`
+        past ``deadline_s``. Passing an explicit ``job_id`` is
+        idempotent: a retry of a completed solve returns the cached
+        result without re-running. ``fault_plan`` injects deterministic
+        faults into the warm solve's workers (chaos testing).
+        """
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise ServiceClosed("service is shut down")
+        job_id = job_id or uuid.uuid4().hex[:12]
+        with self._dedup_lock:
+            cached = self._completed_solves.get(job_id)
+            if cached is not None:
+                self.metrics.count_deduped()
+                return cached
+        t0 = time.monotonic()
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        deadline = None if deadline_s is None else t0 + deadline_s
+        record = JobRecord(job_id=job_id, deadline_s=deadline_s or 0.0)
+        entry = self.cache.lookup(pattern_id)
+        if entry is None:
+            raise UnknownPatternError(
+                f"pattern {pattern_id!r} is not cached (evicted, or from "
+                "a previous service run); factor the full matrix first"
+            )
+        record.pattern_id = entry.pattern_id
+        record.cache = "hit"
+        if entry.last_factor is None:
+            raise JobFailed(
+                job_id,
+                f"pattern {pattern_id!r} has no completed factor to "
+                "solve against",
+            )
+        b = np.asarray(b, dtype=np.float64)
+        panel = b.reshape(-1, 1) if b.ndim == 1 else b
+        if panel.ndim != 2 or panel.shape[0] != entry.shape[0]:
+            raise JobFailed(
+                job_id,
+                f"rhs has shape {b.shape}; pattern expects "
+                f"{entry.shape[0]} rows",
+            )
+        if not self.breaker.allow():
+            raise ServiceUnavailable(
+                "circuit breaker open: solve refused while the pool "
+                "recovers"
+            )
+        pb = np.ascontiguousarray(panel[entry.perm])
+        metrics = trace = None
+        x_perm = None
+        outcome_tag = OUTCOME_DEGRADED
+        if (
+            self.pool.running
+            and entry.resident_generation == self.pool.generation
+        ):
+            with self._pool_lock:
+                seq = next(self._seq)
+                spec = PoolJob(
+                    seq=seq,
+                    pattern_id=entry.pattern_id,
+                    values=None,
+                    kind="solve",
+                    rhs=pb,
+                    deadline=deadline,
+                    trace_capacity=self.trace_capacity,
+                    fault_plan=fault_plan,
+                )
+                outcomes = self.pool.run_batch(
+                    [spec], timeout_s=self.batch_timeout_s
+                )
+            out = outcomes[seq]
+            if self.pool.last_error is not None:
+                self.metrics.count_pool_restart()
+                self.breaker.record_failure()
+                entry.resident_generation = -1
+            else:
+                self.breaker.record_success()
+            if out.expired:
+                record.status = "expired"
+                record.error = f"deadline of {deadline_s}s exceeded"
+                self.metrics.add(record)
+                raise DeadlineExceeded(
+                    f"solve {job_id!r} missed its {deadline_s}s deadline"
+                )
+            if out.ok:
+                x_perm = self._assemble_solution(entry, pb, out)
+                if x_perm is not None:
+                    outcome_tag = OUTCOME_CLEAN
+                    record.run_s = out.wall_s
+                    record.batch_size = 1
+                    metrics = self._job_metrics(entry, record, out)
+                    if self.trace_capacity:
+                        trace = _merge_trace(
+                            out.results, self.pool.nprocs,
+                            entry.mapping_name, self.pool.start_method,
+                            None, wall_s=out.wall_s,
+                            nrhs=int(pb.shape[1]),
+                        )
+            else:
+                record.error = out.error or "aborted"
+        if x_perm is None:
+            # Sequential fallback on the retained factor — the same
+            # block substitution the distributed sweep mirrors, so the
+            # answer is bitwise-identical to a clean warm solve.
+            if deadline is not None and time.monotonic() > deadline:
+                record.status = "expired"
+                self.metrics.add(record)
+                raise DeadlineExceeded(
+                    f"solve {job_id!r} missed its {deadline_s}s deadline"
+                )
+            t_seq = time.monotonic()
+            from repro.numeric.solve import block_solve_permuted
+
+            x_perm = block_solve_permuted(entry.last_factor, pb)
+            record.run_s = time.monotonic() - t_seq
+        x = np.empty_like(panel)
+        x[entry.perm] = x_perm
+        if b.ndim == 1:
+            x = x[:, 0]
+        record.outcome = outcome_tag
+        record.status = "ok"
+        record.error = ""
+        record.e2e_s = time.monotonic() - t0
+        result = SolveResult(
+            job_id=job_id,
+            pattern_id=entry.pattern_id,
+            x=x,
+            outcome=outcome_tag,
+            metrics=metrics,
+            trace=trace,
+            record=record,
+        )
+        self.metrics.add(record)
+        with self._dedup_lock:
+            if self._dedup_capacity:
+                self._completed_solves[job_id] = result
+                self._completed_solves.move_to_end(job_id)
+                while len(self._completed_solves) > self._dedup_capacity:
+                    self._completed_solves.popitem(last=False)
+        return result
+
+    def _assemble_solution(self, entry, pb, outcome) -> np.ndarray | None:
+        """Stitch per-rank solution panels into the permuted solution;
+        None when any panel is missing (triggers the sequential
+        fallback rather than releasing a wrong answer)."""
+        ptr = np.asarray(entry.structure.partition.panel_ptr, dtype=np.int64)
+        x = np.empty_like(pb)
+        seen = 0
+        for res in outcome.results.values():
+            for k, panel in (res.solution or {}).items():
+                x[int(ptr[k]):int(ptr[k + 1])] = panel
+                seen += int(ptr[k + 1] - ptr[k])
+        if seen != pb.shape[0]:
+            return None
+        return x
+
     def stats(self) -> dict:
         """Service-level counters + aggregates (JSON-safe)."""
         return {
@@ -456,42 +644,49 @@ class FactorService:
         # the only safe point. The restart clears ``seen_patterns``, so
         # contexts re-ship lazily and ``_sync_plan`` re-plans owners for
         # the restored width exactly as it re-planned for the shrink.
-        if self.pool.running and self.pool.nprocs < self.pool.configured_nprocs:
-            self.pool.regrow()
-        # Bounded parallel attempts: jobs that fail on a broken pool are
-        # re-dispatched (fresh seqs; contexts re-ship because the healed
-        # pool forgot them; owners re-planned for the shrunken crew).
-        pending = prepared
-        attempt = 0
-        while pending and attempt < self.max_job_attempts:
-            specs = self._make_specs(pending, attempt)
-            outcomes = self.pool.run_batch(
-                specs, timeout_s=self.batch_timeout_s
-            )
-            if self.pool.last_error is not None:
-                self.metrics.count_pool_restart()
-                self.breaker.record_failure()
-            else:
-                self.breaker.record_success()
-            attempt += 1
-            retry = []
-            for p in pending:
-                out = outcomes[p.seq]
-                p.record.attempts = attempt
-                if out.ok:
-                    p.record.outcome = (
-                        OUTCOME_CLEAN if attempt == 1 else OUTCOME_RECOVERED
-                    )
-                    p.record.batch_size = len(specs)
-                    self._finish_job(p.queued, p.entry, p.record, out)
-                elif out.expired or p.queued.job.expired:
-                    self._finish_expired(p.queued, p.record)
+        # ``_pool_lock`` keeps concurrent :meth:`solve` dispatches out of
+        # the pool while a factor batch is in flight (and vice versa).
+        with self._pool_lock:
+            if (
+                self.pool.running
+                and self.pool.nprocs < self.pool.configured_nprocs
+            ):
+                self.pool.regrow()
+            # Bounded parallel attempts: jobs that fail on a broken pool
+            # are re-dispatched (fresh seqs; contexts re-ship because the
+            # healed pool forgot them; owners re-planned for the crew).
+            pending = prepared
+            attempt = 0
+            while pending and attempt < self.max_job_attempts:
+                specs = self._make_specs(pending, attempt)
+                outcomes = self.pool.run_batch(
+                    specs, timeout_s=self.batch_timeout_s
+                )
+                if self.pool.last_error is not None:
+                    self.metrics.count_pool_restart()
+                    self.breaker.record_failure()
                 else:
-                    p.record.error = out.error or "aborted"
-                    retry.append(p)
-            pending = retry
-            if pending and not self.breaker.allow():
-                break  # the breaker tripped mid-loop: stop probing
+                    self.breaker.record_success()
+                attempt += 1
+                retry = []
+                for p in pending:
+                    out = outcomes[p.seq]
+                    p.record.attempts = attempt
+                    if out.ok:
+                        p.record.outcome = (
+                            OUTCOME_CLEAN if attempt == 1
+                            else OUTCOME_RECOVERED
+                        )
+                        p.record.batch_size = len(specs)
+                        self._finish_job(p.queued, p.entry, p.record, out)
+                    elif out.expired or p.queued.job.expired:
+                        self._finish_expired(p.queued, p.record)
+                    else:
+                        p.record.error = out.error or "aborted"
+                        retry.append(p)
+                pending = retry
+                if pending and not self.breaker.allow():
+                    break  # the breaker tripped mid-loop: stop probing
         # Attempts exhausted (or breaker open): per-job sequential
         # fallback, the always-correct last resort.
         for p in pending:
@@ -580,6 +775,11 @@ class FactorService:
                 p.record,
             )
             return
+        # The sequential factor is still the pattern's latest factor —
+        # retain it for solve fallbacks — but no pool worker holds it, so
+        # residency is explicitly cleared.
+        p.entry.last_factor = factor
+        p.entry.resident_generation = -1
         p.record.outcome = OUTCOME_DEGRADED
         p.record.status = "ok"
         p.record.error = ""
@@ -769,6 +969,11 @@ class FactorService:
             return
         record.assemble_s = time.monotonic() - t0
         record.e2e_s = time.monotonic() - queued.job.submitted_at
+        # Retain the factor for solve requests: the driver-side copy is
+        # the sequential fallback, and the pool workers that just ran the
+        # job keep their blocks resident for warm distributed solves.
+        entry.last_factor = factor
+        entry.resident_generation = self.pool.generation
         metrics = self._job_metrics(entry, record, outcome)
         trace = None
         if self.trace_capacity:

@@ -203,6 +203,17 @@ class SparseCholesky:
         #: Merged structured trace of the last traced ``"mp"``
         #: factorization (:class:`repro.runtime.trace.RunTrace`, or None).
         self.run_trace = None
+        #: Max-abs residual ``|A x - b|`` of the last :meth:`solve`
+        #: (always computed — one SpMV per solve).
+        self.solve_residual = None
+        #: Residual history of the last :meth:`solve`: entry 0 is the
+        #: direct solve, one more entry per refinement step.
+        self.solve_residuals = None
+        #: How the last ``"service"``-backend solve ran: ``"clean"``
+        #: (warm distributed solve on the resident factor) or
+        #: ``"degraded_sequential"`` (sequential fallback, still
+        #: bitwise-identical). None otherwise.
+        self.solve_outcome = None
 
     @staticmethod
     def _resolve_ordering(A, ordering):
@@ -349,12 +360,115 @@ class SparseCholesky:
             raise RuntimeError("call factor() first")
         return self._L
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``A x = b`` using the computed factor."""
+    def solve(self, b: np.ndarray, refine: int = 0) -> np.ndarray:
+        """Solve ``A x = b`` using the computed factor.
+
+        Accepts a single vector or an ``n x nrhs`` panel of right-hand
+        sides (multi-RHS solves batch into block-column panels, not
+        ``nrhs`` separate sweeps). The route depends on the backend:
+
+        * ``"mp"``, not yet factored: one combined distributed run —
+          factor then the distributed triangular solve, the factor blocks
+          never leaving the workers that computed them (see
+          ``docs/SOLVING.md``);
+        * ``"service"``: a solve job against the service's resident
+          factor — warm solves ship only right-hand-side values; the
+          outcome lands in :attr:`solve_outcome`;
+        * otherwise (and for corrections): the sequential block
+          substitution path on the assembled factor, which is the
+          bitwise reference for both routes above.
+
+        ``refine`` adds that many steps of iterative refinement
+        (``r = b - A x``; ``x += solve(r)``). The max-abs residual is
+        always computed and reported in :attr:`solve_residual` (history
+        in :attr:`solve_residuals`).
+        """
+        if refine < 0:
+            raise ValueError("refine must be non-negative")
+        b = np.asarray(b, dtype=np.float64)
+        self.solve_outcome = None
+        if self.backend == "service":
+            x = self._solve_via_service(b)
+        elif (
+            self.backend == "mp"
+            and self._numeric is None
+            and self.fault_plan is None
+        ):
+            x = self._solve_distributed(b)
+        else:
+            x = self._base_solve(b)
+        residuals = [self._residual(b, x)]
+        for _ in range(refine):
+            r = b - self.A @ x
+            x = x + self._base_solve(r)
+            residuals.append(self._residual(b, x))
+        self.solve_residuals = residuals
+        self.solve_residual = residuals[-1]
+        return x
+
+    def _residual(self, b: np.ndarray, x: np.ndarray) -> float:
+        return float(np.max(np.abs(b - self.A @ x)))
+
+    def _base_solve(self, b: np.ndarray) -> np.ndarray:
+        """Sequential solve on the held factor — the block substitution
+        path when the block factor is present (the distributed solve's
+        bitwise reference), else the sparse-L path."""
         perm = getattr(self, "_solve_perm", None)
         if perm is None:
             perm = self.symbolic.ordering
-        return solve_with_factor(self.L, b, perm)
+        factor = self._numeric if self._numeric is not None else self.L
+        return solve_with_factor(factor, b, perm)
+
+    def _solve_distributed(self, b: np.ndarray) -> np.ndarray:
+        """Combined distributed factor+solve in a single ``"mp"`` runtime
+        launch (used when :meth:`solve` is called before :meth:`factor`):
+        the factor stays distributed and only RHS fragments travel."""
+        from repro.numeric.solve import _resolve_perm
+        from repro.runtime import run_mp_fanout
+
+        owners, name = self._plan(self.nprocs)
+        perm = _resolve_perm(self.symbolic.ordering)
+        pb = b if perm is None else b[perm]
+        result = run_mp_fanout(
+            self.structure,
+            self.symbolic.A,
+            self.taskgraph,
+            owners,
+            self.nprocs,
+            mapping=name,
+            trace=self.trace,
+            transport=self.transport,
+            schedule=self.schedule,
+            steal_seed=self.steal_seed,
+            rhs=pb,
+        )
+        self._numeric = result.factor
+        self.runtime_metrics = result.metrics
+        self.run_trace = result.trace
+        self._L = self._numeric.to_csc()
+        z = result.solution
+        if b.ndim == 1:
+            z = z[:, 0]
+        if perm is None:
+            return z
+        x = np.empty_like(z)
+        x[perm] = z
+        return x
+
+    def _solve_via_service(self, b: np.ndarray) -> np.ndarray:
+        """Solve through the service's resident factor (warm solves ship
+        only RHS values); falls back to the local factor copy when the
+        service cannot solve (older service, no resident factor)."""
+        pattern_id = getattr(self, "service_pattern_id", None)
+        if pattern_id is None:
+            raise RuntimeError("call factor() first")
+        if hasattr(self.service, "solve"):
+            sres = self.service.solve(
+                b, pattern_id=pattern_id, deadline_s=self.deadline_s
+            )
+            self.solve_outcome = sres.outcome
+            return sres.x
+        return self._base_solve(b)
 
     # ------------------------------------------------------------------
     def plan_parallel(

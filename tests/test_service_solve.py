@@ -1,0 +1,172 @@
+"""Solve requests against the service's resident factors.
+
+The warm path is the whole point: after a clean factor job the pool
+workers still hold the factor blocks, so ``FactorService.solve`` ships
+*only* the permuted RHS panel — zero factor-plane messages, zero pattern
+or matrix bytes. Everything that goes wrong degrades to a typed error or
+a bitwise-identical sequential fallback tagged ``degraded_sequential``;
+nothing hangs, nothing returns a wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import grid2d_matrix
+from repro.runtime.faults import CrashSpec, FaultPlan
+from repro.service import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    FactorService,
+    JobFailed,
+    ServiceUnavailable,
+    UnknownPatternError,
+)
+
+SVC_KW = dict(
+    nprocs=2, ordering="nd", block_size=8,
+    batch_timeout_s=120, stall_timeout_s=10.0,
+)
+
+#: Hard-kills rank 1 at its first solve task (the worker's crash
+#: counter spans factor + solve tasks, and the factor already spent the
+#: budget), standing in for a SIGKILL mid-solve.
+MID_SOLVE_KILL = FaultPlan(seed=0, crash=(CrashSpec(1, 1, hard=True),))
+
+
+@pytest.fixture(scope="module")
+def grid_A():
+    return grid2d_matrix(10).A.tocsc()
+
+
+def _rhs(n, nrhs=3, seed=42):
+    return np.random.default_rng(seed).standard_normal((n, nrhs))
+
+
+class TestWarmSolve:
+    def test_warm_solve_ships_only_rhs(self, grid_A):
+        """Zero factor-plane traffic: every message of a warm solve is
+        on the solve ledger; the factor ledger stays empty."""
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            b = _rhs(grid_A.shape[0])
+            sres = svc.solve(b, pattern_id=jr.pattern_id)
+            assert sres.outcome == "clean"
+            assert sres.metrics is not None
+            workers = sres.metrics.workers
+            assert sum(w.messages_sent for w in workers) == 0
+            assert sum(w.wire_bytes_sent for w in workers) == 0
+            assert sum(w.solve_messages_sent for w in workers) > 0
+            assert sum(w.solve_bytes_sent for w in workers) > 0
+            assert np.array_equal(sres.x, jr.solve(b))
+
+    def test_vector_rhs_and_shape(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            b = _rhs(grid_A.shape[0], 1)[:, 0]
+            sres = svc.solve(b, pattern_id=jr.pattern_id)
+            assert sres.x.shape == b.shape
+            assert np.array_equal(sres.x, jr.solve(b))
+
+    def test_solve_jobs_dedup_by_job_id(self, grid_A):
+        """An idempotent retry returns the cached result — the same
+        object — without re-running anything."""
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            b = _rhs(grid_A.shape[0])
+            before = svc.metrics.deduped
+            first = svc.solve(b, pattern_id=jr.pattern_id, job_id="s-1")
+            again = svc.solve(b, pattern_id=jr.pattern_id, job_id="s-1")
+            assert again is first
+            assert svc.metrics.deduped == before + 1
+
+
+class TestTypedErrors:
+    def test_unknown_pattern(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            svc.factor(grid_A)
+            with pytest.raises(UnknownPatternError):
+                svc.solve(_rhs(grid_A.shape[0]), pattern_id="nope")
+
+    def test_bad_rhs_shape(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            with pytest.raises(JobFailed, match="rhs"):
+                svc.solve(
+                    np.ones(grid_A.shape[0] + 1),
+                    pattern_id=jr.pattern_id,
+                )
+
+    def test_deadline_exceeded(self, grid_A):
+        """A zero budget can never be met — the typed error fires
+        before any answer is fabricated."""
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            with pytest.raises(DeadlineExceeded):
+                svc.solve(
+                    _rhs(grid_A.shape[0]),
+                    pattern_id=jr.pattern_id,
+                    deadline_s=0.0,
+                )
+
+    def test_breaker_open_refuses_solves(self, grid_A):
+        """Unlike factor jobs (which degrade sequentially), a solve
+        against an open breaker is refused with the typed
+        ServiceUnavailable — the client owns the retry."""
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            svc.breaker.threshold = 1
+            svc.breaker.cooldown_s = 60.0
+            svc.breaker.record_failure()
+            assert svc.breaker.state == CircuitBreaker.OPEN
+            with pytest.raises(ServiceUnavailable):
+                svc.solve(_rhs(grid_A.shape[0]),
+                          pattern_id=jr.pattern_id)
+
+
+class TestMidSolveFailure:
+    def test_hard_kill_degrades_bitwise(self, grid_A):
+        """SIGKILL mid-solve: the pool heals, the service answers from
+        the retained factor — tagged, and bitwise-identical to the
+        fault-free answer. Never a hang, never a wrong x."""
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            b = _rhs(grid_A.shape[0])
+            clean = svc.solve(b, pattern_id=jr.pattern_id, job_id="s-ok")
+            assert clean.outcome == "clean"
+            hurt = svc.solve(
+                b, pattern_id=jr.pattern_id, job_id="s-kill",
+                fault_plan=MID_SOLVE_KILL,
+            )
+            assert hurt.outcome == "degraded_sequential"
+            assert np.array_equal(hurt.x, clean.x)
+            assert hurt.record.outcome == "degraded_sequential"
+
+    def test_residency_lost_until_refactor(self, grid_A):
+        """After the healed pool restarts, residency is gone: the next
+        solve degrades; a re-factor re-arms the warm path."""
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            b = _rhs(grid_A.shape[0])
+            ref = svc.solve(b, pattern_id=jr.pattern_id, job_id="s-a")
+            svc.solve(b, pattern_id=jr.pattern_id, job_id="s-b",
+                      fault_plan=MID_SOLVE_KILL)
+            after = svc.solve(b, pattern_id=jr.pattern_id, job_id="s-c")
+            assert after.outcome == "degraded_sequential"
+            assert np.array_equal(after.x, ref.x)
+            svc.factor(pattern_id=jr.pattern_id, values=grid_A.data)
+            warm = svc.solve(b, pattern_id=jr.pattern_id, job_id="s-d")
+            assert warm.outcome == "clean"
+            assert np.array_equal(warm.x, ref.x)
+
+
+class TestRecords:
+    def test_solve_records_enter_service_metrics(self, grid_A):
+        with FactorService(**SVC_KW) as svc:
+            jr = svc.factor(grid_A)
+            n0 = len(svc.metrics.records)
+            sres = svc.solve(_rhs(grid_A.shape[0]),
+                             pattern_id=jr.pattern_id)
+            recs = svc.metrics.records[n0:]
+            assert any(r.job_id == sres.job_id for r in recs)
+            assert sres.record.status == "ok"
+            assert sres.record.e2e_s >= sres.record.run_s >= 0.0
