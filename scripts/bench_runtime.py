@@ -19,12 +19,18 @@ Methodology notes (see docs/PERFORMANCE.md):
   owner-computes map and the dynamic work-stealing schedule; rows carry
   ``schedule``, trace-free idle time (``idle_s``) and the migration
   counters (``tasks_migrated``, ``steal_bytes``) so the static-vs-dynamic
-  comparison is honest about what stealing bought and what it cost.
+  comparison is honest about what stealing bought and what it cost;
+* the ``--block-policies`` sweep benches each problem once per blocking
+  policy (uniform fixed-width panels vs structure-aware supernodal
+  panels); each (problem, policy) entry carries a ``blocking`` geometry
+  report — median/max dgemm tile area, median inner dimension, arena
+  padding-waste % — and a headline compares the policies' geometry and
+  wall clocks side by side.
 
 Usage: python scripts/bench_runtime.py [--scale small|medium|paper]
        [--problems GRID150,BCSSTK15] [--nprocs 2,4] [--repeat 3]
        [--transports inline,shm] [--schedules static,dynamic]
-       [--out BENCH_runtime.json]
+       [--block-policies uniform,supernodal] [--out BENCH_runtime.json]
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.blocking import blocking_report  # noqa: E402
 from repro.experiments.pipeline import prepare_problem  # noqa: E402
 from repro.runtime import (  # noqa: E402
     plan_owners,
@@ -127,6 +134,12 @@ def main(argv=None) -> int:
     ap.add_argument("--schedules", default="static,dynamic",
                     help="comma-separated execution schedules to sweep "
                          "(static, dynamic)")
+    ap.add_argument("--block-policies", default="uniform",
+                    help="comma-separated blocking policies to sweep "
+                         "(uniform, supernodal); with both, each problem "
+                         "is benched per policy and a geometry headline "
+                         "(median dgemm tile area, arena padding waste) "
+                         "compares them side by side")
     ap.add_argument("--out", default=str(
         Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
     ))
@@ -147,6 +160,11 @@ def main(argv=None) -> int:
     for s in schedules:
         if s not in ("static", "dynamic"):
             ap.error(f"unknown schedule {s!r}")
+    bpolicies = [b.strip() for b in args.block_policies.split(",")
+                 if b.strip()]
+    for b in bpolicies:
+        if b not in ("uniform", "supernodal"):
+            ap.error(f"unknown block policy {b!r}")
 
     affinity = affinity_cpus()
     usable = affinity if affinity is not None else os.cpu_count()
@@ -161,6 +179,7 @@ def main(argv=None) -> int:
         "affinity_cpus": affinity,
         "transports": transports,
         "schedules": schedules,
+        "block_policies": bpolicies,
         # Top-level oversubscription verdict: True when ANY benched
         # configuration ran more workers than affinity-visible CPUs.
         # Consumers must check this before reading wall-clock "speedups"
@@ -178,14 +197,26 @@ def main(argv=None) -> int:
               f"BENCH_runtime.json is marked oversubscribed=true",
               file=sys.stderr)
     for name in problems:
-        prep = prepare_problem(name, args.scale, args.block_size)
+      entries_by_policy = {}
+      for bpolicy in bpolicies:
+        prep = prepare_problem(name, args.scale, args.block_size,
+                               block_policy=bpolicy)
+        geometry = blocking_report(prep.taskgraph)
         entry = {
             "problem": prep.name,
             "n": prep.problem.n,
             "npanels": prep.partition.npanels,
             "ntasks": prep.taskgraph.ntasks,
+            "block_policy": bpolicy,
+            "blocking": geometry,
             "results": [],
         }
+        entries_by_policy[bpolicy] = entry
+        print(f"{prep.name} [{bpolicy}]: {prep.partition.npanels} panels, "
+              f"median dgemm tile "
+              f"{geometry['tiles']['median_tile_mn']:.0f} "
+              f"(max {geometry['tiles']['max_tile_mn']}), "
+              f"arena padding {geometry['arena']['padding_pct']:.2f}%")
         for nprocs in nprocs_list:
             over = usable is not None and nprocs > usable
             for mapping in MAPPINGS:
@@ -196,9 +227,11 @@ def main(argv=None) -> int:
                             oversubscribed=over, trace_out=args.trace_out,
                             schedule=schedule,
                         )
+                        r["block_policy"] = bpolicy
                         entry["results"].append(r)
                         print(
-                            f"{prep.name:<10s} P={nprocs} {r['mapping']:<8s} "
+                            f"{prep.name:<10s} [{bpolicy}] "
+                            f"P={nprocs} {r['mapping']:<8s} "
                             f"{r['transport']:<6s} {r['schedule']:<7s} "
                             f"wall={r['wall_s'] * 1e3:8.1f} ms "
                             f"idle={r['idle_s'] * 1e3:7.1f} ms "
@@ -251,6 +284,35 @@ def main(argv=None) -> int:
                             f"{st['wall_s'] * 1e3:.1f} ms)"
                         )
         report["runs"].append(entry)
+      if len(bpolicies) > 1:
+        uni = entries_by_policy.get("uniform")
+        sup = entries_by_policy.get("supernodal")
+        if uni and sup:
+            ug, sg = uni["blocking"], sup["blocking"]
+            print(
+                f"  -> {name} geometry: median dgemm tile "
+                f"{sg['tiles']['median_tile_mn']:.0f} supernodal vs "
+                f"{ug['tiles']['median_tile_mn']:.0f} uniform "
+                f"({'bigger' if sg['tiles']['median_tile_mn'] > ug['tiles']['median_tile_mn'] else 'NOT bigger'}); "
+                f"arena padding {sg['arena']['padding_pct']:.2f}% vs "
+                f"{ug['arena']['padding_pct']:.2f}% "
+                f"({'smaller' if sg['arena']['padding_pct'] < ug['arena']['padding_pct'] else 'NOT smaller'})"
+            )
+            for nprocs in nprocs_list:
+                key = (nprocs, "DW/CY", transports[0], schedules[0])
+                pick = lambda e: next(
+                    (r for r in e["results"]
+                     if (r["nprocs"], r["mapping"], r["transport"],
+                         r["schedule"]) == key), None)
+                a, b = pick(uni), pick(sup)
+                if a and b:
+                    print(
+                        f"  -> {name} P={nprocs} DW/CY wall: supernodal "
+                        f"{b['wall_s'] * 1e3:.1f} ms vs uniform "
+                        f"{a['wall_s'] * 1e3:.1f} ms"
+                        + (" [oversubscribed]" if a["oversubscribed"]
+                           or b["oversubscribed"] else "")
+                    )
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

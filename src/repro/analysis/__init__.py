@@ -6,6 +6,11 @@ the static communication-volume accounting used to evaluate
 subtree-to-subcube mappings.
 """
 
+from repro.analysis.blocking import (
+    arena_padding_stats,
+    blocking_report,
+    dgemm_tile_stats,
+)
 from repro.analysis.critical_path import critical_path
 from repro.analysis.comm_volume import (
     communication_volume,
@@ -23,6 +28,9 @@ from repro.analysis.tree_stats import tree_statistics, work_by_depth
 from repro.analysis.utilization import utilization_profile
 
 __all__ = [
+    "arena_padding_stats",
+    "blocking_report",
+    "dgemm_tile_stats",
     "critical_path",
     "communication_volume",
     "solve_communication_volume",

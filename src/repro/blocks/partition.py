@@ -27,7 +27,12 @@ class BlockPartition:
         Inverse map, length n.
     block_size:
         The requested B.
+    policy_name:
+        Which blocking policy produced the partition ("uniform" here;
+        subclasses override).
     """
+
+    policy_name = "uniform"
 
     def __init__(self, sf: SymbolicFactor, block_size: int = 48):
         if block_size < 1:
@@ -49,9 +54,14 @@ class BlockPartition:
                 boundaries.append(pos)
                 snode_ids.append(s)
             assert pos == b
+        self._set_panels(boundaries, snode_ids)
+
+    def _set_panels(self, boundaries: list[int], snode_ids: list[int]) -> None:
+        """Finalize panel arrays from boundary/supernode lists (shared with
+        subclasses that build their own boundaries)."""
         self.panel_ptr = np.asarray(boundaries, dtype=INDEX_DTYPE)
         self.panel_snode = np.asarray(snode_ids, dtype=INDEX_DTYPE)
-        n = sf.n
+        n = self.symbolic.n
         self.panel_of_col = np.zeros(n, dtype=INDEX_DTYPE)
         if self.npanels > 0:
             marks = np.zeros(n, dtype=INDEX_DTYPE)

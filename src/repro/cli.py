@@ -194,117 +194,137 @@ def cmd_bench_real(args) -> int:
         ["static", "dynamic"] if args.schedule == "both"
         else [args.schedule]
     )
+    bpolicies = (
+        ["uniform", "supernodal"] if args.block_policy == "both"
+        else [args.block_policy]
+    )
     policy = None if args.policy == "fifo" else args.policy
     runs = {}
-    multi = len(mappings) * len(schedules) > 1
-    for mapping in mappings:
-        owners, name = plan_owners(
-            prep.workmodel, prep.taskgraph, args.nprocs, mapping,
-            use_domains=args.domains,
+    resids = {}
+    multi = len(mappings) * len(schedules) * len(bpolicies) > 1
+    for bpolicy in bpolicies:
+        prep = prepare_problem(
+            args.problem, args.scale, args.block_size,
+            block_policy=bpolicy,
         )
-        for schedule in schedules:
-            res = run_mp_fanout(
-                prep.structure, prep.symbolic.A, prep.taskgraph, owners,
-                args.nprocs, policy=policy, mapping=name,
-                timeout_s=args.timeout, stall_timeout_s=args.stall_timeout,
-                trace=bool(args.trace_out), transport=transport,
-                schedule=schedule, steal_seed=args.steal_seed,
-                rhs=rhs,
+        for mapping in mappings:
+            owners, name = plan_owners(
+                prep.workmodel, prep.taskgraph, args.nprocs, mapping,
+                use_domains=args.domains,
             )
-            met = res.metrics
-            met.problem = prep.name
-            label = (
-                mapping if len(schedules) == 1 else f"{mapping}:{schedule}"
-            )
-            runs[label] = res
-            predicted = communication_volume(prep.taskgraph, owners)
-            L = res.to_csc()
-            resid = abs(L @ L.T - prep.symbolic.A).max()
-            print(f"{prep.name} on {args.nprocs} workers ({name}, "
-                  f"schedule={schedule}):")
-            if oversub is not None:
-                print(f"  {oversub}")
-            print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms "
-                  f"(factor{'+solve' if rhs is not None else ''})")
-            if phase in ("factor", "both"):
-                print(f"  |L L^T - A|_max : {resid:.3e}")
-                print(f"  balance         : measured "
-                      f"{met.measured_balance:.3f} "
-                      f"(busy time), work {met.work_balance:.3f}")
-                print(f"  imbalance       : max/mean busy "
-                      f"{met.imbalance:.3f}, work {met.work_imbalance:.3f}")
-                print(f"  messages        : {met.messages_total} measured /"
-                      f" {predicted.messages} predicted "
-                      f"({met.bytes_total / 1e6:.2f} MB)")
-                print(f"  transport       : {met.transport} "
-                      f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
-            if rhs is not None:
-                spred = solve_communication_volume(
-                    prep.taskgraph, owners, nrhs=args.nrhs
+            for schedule in schedules:
+                res = run_mp_fanout(
+                    prep.structure, prep.symbolic.A, prep.taskgraph, owners,
+                    args.nprocs, policy=policy, mapping=name,
+                    timeout_s=args.timeout,
+                    stall_timeout_s=args.stall_timeout,
+                    trace=bool(args.trace_out), transport=transport,
+                    schedule=schedule, steal_seed=args.steal_seed,
+                    rhs=rhs,
                 )
-                sresid = float(
-                    np.max(np.abs(prep.symbolic.A @ res.solution - rhs))
+                met = res.metrics
+                met.problem = prep.name
+                label = (
+                    mapping if len(schedules) == 1
+                    else f"{mapping}:{schedule}"
                 )
-                busy = sum(w.solve_busy_s for w in met.workers)
-                comm = sum(w.solve_comm_s for w in met.workers)
-                print(f"  solve ({args.nrhs} rhs) : "
-                      f"|A x - b|_max {sresid:.3e} (permuted system)")
-                print(f"  solve time      : busy {busy * 1e3:.1f} ms, "
-                      f"comm {comm * 1e3:.1f} ms across workers")
-                print(f"  solve messages  : {met.solve_messages_total} "
-                      f"measured / {spred.messages} predicted "
-                      f"({met.solve_bytes_total / 1e3:.1f} kB)")
-            if schedule == "dynamic":
-                print(f"  stealing        : {met.tasks_stolen_total} "
-                      f"migrations / {met.steal_reqs_total} requests "
-                      f"({met.steal_bytes_total / 1e3:.1f} kB steal "
-                      f"traffic); idle {met.idle_total_s * 1e3:.1f} ms")
-            print("  per-worker breakdown:")
-            print("    " + met.render().replace("\n", "\n    "))
-            if args.validate:
-                rep = validate_runtime(
-                    prep.structure, prep.symbolic.A, prep.taskgraph,
-                    problem=prep.name, result=res, strict=False,
-                )
-                print("  " + rep.summary().replace("\n", "\n  "))
-                if not rep.ok:
-                    return 1
-            if args.trace_out and res.trace is not None:
-                path = _trace_path(args.trace_out, label, multi)
-                res.trace.meta["problem"] = prep.name
-                res.trace.dump(path)
-                print(f"  trace ({len(res.trace.events)} events) written "
-                      f"to {path}")
-            print()
+                if len(bpolicies) > 1:
+                    label = f"{label}@{bpolicy}"
+                runs[label] = res
+                predicted = communication_volume(prep.taskgraph, owners)
+                L = res.to_csc()
+                resid = abs(L @ L.T - prep.symbolic.A).max()
+                resids[label] = float(resid)
+                print(f"{prep.name} on {args.nprocs} workers ({name}, "
+                      f"schedule={schedule}, block_policy={bpolicy}):")
+                if oversub is not None:
+                    print(f"  {oversub}")
+                print(f"  wall clock      : {met.wall_s * 1e3:.1f} ms "
+                      f"(factor{'+solve' if rhs is not None else ''})")
+                if phase in ("factor", "both"):
+                    print(f"  |L L^T - A|_max : {resid:.3e}")
+                    print(f"  balance         : measured "
+                          f"{met.measured_balance:.3f} "
+                          f"(busy time), work {met.work_balance:.3f}")
+                    print(f"  imbalance       : max/mean busy "
+                          f"{met.imbalance:.3f}, work {met.work_imbalance:.3f}")
+                    print(f"  messages        : {met.messages_total} measured /"
+                          f" {predicted.messages} predicted "
+                          f"({met.bytes_total / 1e6:.2f} MB)")
+                    print(f"  transport       : {met.transport} "
+                          f"({met.wire_bytes_total / 1e6:.2f} MB transported)")
+                if rhs is not None:
+                    spred = solve_communication_volume(
+                        prep.taskgraph, owners, nrhs=args.nrhs
+                    )
+                    sresid = float(
+                        np.max(np.abs(prep.symbolic.A @ res.solution - rhs))
+                    )
+                    busy = sum(w.solve_busy_s for w in met.workers)
+                    comm = sum(w.solve_comm_s for w in met.workers)
+                    print(f"  solve ({args.nrhs} rhs) : "
+                          f"|A x - b|_max {sresid:.3e} (permuted system)")
+                    print(f"  solve time      : busy {busy * 1e3:.1f} ms, "
+                          f"comm {comm * 1e3:.1f} ms across workers")
+                    print(f"  solve messages  : {met.solve_messages_total} "
+                          f"measured / {spred.messages} predicted "
+                          f"({met.solve_bytes_total / 1e3:.1f} kB)")
+                if schedule == "dynamic":
+                    print(f"  stealing        : {met.tasks_stolen_total} "
+                          f"migrations / {met.steal_reqs_total} requests "
+                          f"({met.steal_bytes_total / 1e3:.1f} kB steal "
+                          f"traffic); idle {met.idle_total_s * 1e3:.1f} ms")
+                print("  per-worker breakdown:")
+                print("    " + met.render().replace("\n", "\n    "))
+                if args.validate:
+                    rep = validate_runtime(
+                        prep.structure, prep.symbolic.A, prep.taskgraph,
+                        problem=prep.name, result=res, strict=False,
+                    )
+                    print("  " + rep.summary().replace("\n", "\n  "))
+                    if not rep.ok:
+                        return 1
+                if args.trace_out and res.trace is not None:
+                    path = _trace_path(args.trace_out, label, multi)
+                    res.trace.meta["problem"] = prep.name
+                    res.trace.dump(path)
+                    print(f"  trace ({len(res.trace.events)} events) written "
+                          f"to {path}")
+                print()
     if len(runs) > 1:
-        print("mapping comparison (work imbalance, lower is better):")
+        print("mapping comparison (work imbalance, lower is better; "
+              "labels are mapping[:schedule][@block_policy]):")
         if oversub is not None:
             print(f"  {oversub}")
         for label, res in sorted(
             runs.items(), key=lambda kv: kv[1].metrics.work_imbalance
         ):
             met = res.metrics
-            print(f"  {label:<18s} work_imbalance="
+            print(f"  {label:<28s} work_imbalance="
                   f"{met.work_imbalance:.3f} "
                   f"measured_balance={met.measured_balance:.3f} "
+                  f"resid={resids[label]:.2e} "
                   f"wall={met.wall_s * 1e3:.1f} ms")
     if len(schedules) == 2:
         print("schedule comparison (dynamic vs static):")
         if oversub is not None:
             print(f"  {oversub}")
         for mapping in mappings:
-            st = runs.get(f"{mapping}:static")
-            dy = runs.get(f"{mapping}:dynamic")
-            if st is None or dy is None:
-                continue
-            same = (abs(dy.to_csc() - st.to_csc()).max() == 0.0)
-            sm, dm = st.metrics, dy.metrics
-            print(f"  {mapping:<10s} idle {dm.idle_total_s * 1e3:.1f} ms "
-                  f"vs {sm.idle_total_s * 1e3:.1f} ms static, "
-                  f"wall {dm.wall_s * 1e3:.1f} vs "
-                  f"{sm.wall_s * 1e3:.1f} ms, "
-                  f"{dm.tasks_stolen_total} migrations, factors "
-                  f"{'bitwise identical' if same else 'DIFFER'}")
+            for bpolicy in bpolicies:
+                suffix = f"@{bpolicy}" if len(bpolicies) > 1 else ""
+                st = runs.get(f"{mapping}:static{suffix}")
+                dy = runs.get(f"{mapping}:dynamic{suffix}")
+                if st is None or dy is None:
+                    continue
+                same = (abs(dy.to_csc() - st.to_csc()).max() == 0.0)
+                sm, dm = st.metrics, dy.metrics
+                print(f"  {mapping + suffix:<20s} "
+                      f"idle {dm.idle_total_s * 1e3:.1f} ms "
+                      f"vs {sm.idle_total_s * 1e3:.1f} ms static, "
+                      f"wall {dm.wall_s * 1e3:.1f} vs "
+                      f"{sm.wall_s * 1e3:.1f} ms, "
+                      f"{dm.tasks_stolen_total} migrations, factors "
+                      f"{'bitwise identical' if same else 'DIFFER'}")
     if args.json:
         payload = {m: r.metrics.to_dict() for m, r in runs.items()}
         with open(args.json, "w") as fh:
@@ -361,7 +381,10 @@ def cmd_chaos(args) -> int:
     from repro.runtime.faults import FaultPlan
     from repro.runtime.recovery import run_with_recovery
 
-    prep = prepare_problem(args.problem, args.scale, args.block_size)
+    prep = prepare_problem(
+        args.problem, args.scale, args.block_size,
+        block_policy=getattr(args, "block_policy", "uniform"),
+    )
     A = prep.symbolic.A
     seq = BlockCholesky(prep.structure, A).factor().to_csc()
     names = (
@@ -373,6 +396,7 @@ def cmd_chaos(args) -> int:
     payload = {}
     print(f"chaos sweep on {prep.name} (seed={args.seed}, "
           f"rate={args.rate}, schedule={getattr(args, 'schedule', 'static')}, "
+          f"block_policy={getattr(args, 'block_policy', 'uniform')}, "
           f"scenarios={len(names)} x P={procs})")
     for P in procs:
         for name in names:
@@ -431,6 +455,7 @@ def _service_from_args(args, **extra):
         nprocs=args.nprocs,
         ordering=args.ordering,
         block_size=args.block_size,
+        block_policy=getattr(args, "block_policy", "uniform"),
         mapping=args.mapping,
         transport=args.transport,
         schedule=getattr(args, "schedule", "static"),
@@ -465,6 +490,9 @@ def _add_service_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--ordering", default="auto",
                    choices=("auto", "nd", "mmd", "natural"))
     p.add_argument("--block-size", type=int, default=48)
+    p.add_argument("--block-policy", default="uniform",
+                   choices=("uniform", "supernodal"),
+                   help="panel blocking policy (see docs/BLOCKING.md)")
     p.add_argument("--mapping", default="DW/CY")
     p.add_argument("--transport", default="auto",
                    choices=("auto", "shm", "inline"))
@@ -646,13 +674,15 @@ def cmd_chaos_service(args) -> int:
     failures = 0
     print(f"service chaos matrix: jobs={args.jobs} "
           f"patterns={args.patterns} P={args.nprocs} "
-          f"transport={args.transport} seed={args.seed} "
-          f"fault_at={fault_at}")
+          f"transport={args.transport} "
+          f"block_policy={getattr(args, 'block_policy', 'uniform')} "
+          f"seed={args.seed} fault_at={fault_at}")
     for name in names:
         svc_kw = dict(
             nprocs=args.nprocs,
             ordering="nd",
             block_size=args.block_size,
+            block_policy=getattr(args, "block_policy", "uniform"),
             transport=args.transport,
             max_batch=args.max_batch,
             stall_timeout_s=args.stall_timeout,
@@ -963,6 +993,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "each mapping under both and compare")
     p.add_argument("--steal-seed", type=int, default=0,
                    help="victim-selection seed for the dynamic schedule")
+    p.add_argument("--block-policy", default="uniform",
+                   choices=("uniform", "supernodal", "both"),
+                   help="panel blocking policy: fixed-width panels, "
+                        "structure-aware supernodal panels, or 'both' to "
+                        "run and compare side by side")
     p.add_argument("--phase", default="factor",
                    choices=("factor", "solve", "both"),
                    help="run and report the factorization, the "
@@ -1015,6 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", default="static",
                    choices=("static", "dynamic"),
                    help="execution schedule for the chaos runs")
+    p.add_argument("--block-policy", default="uniform",
+                   choices=("uniform", "supernodal"),
+                   help="panel blocking policy, so fault fingerprints "
+                        "stay comparable across policies")
     p.add_argument("--max-restarts", type=int, default=2,
                    help="restart budget before the sequential fallback")
     p.add_argument("--timeout", type=float, default=120.0, metavar="S",
@@ -1128,6 +1167,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dispatch index the injected crash rides on "
                         "(default: jobs // 2)")
     p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--block-policy", default="uniform",
+                   choices=("uniform", "supernodal"),
+                   help="panel blocking policy, so fault fingerprints "
+                        "stay comparable across policies")
     p.add_argument("--max-batch", type=int, default=4)
     p.add_argument("--timeout", type=float, default=120.0, metavar="S",
                    help="per-scenario batch + result-wait bound in seconds")

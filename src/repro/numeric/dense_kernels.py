@@ -38,9 +38,17 @@ def bdiv_kernel(B: np.ndarray, L_KK: np.ndarray) -> tuple[np.ndarray, int]:
     diagonal. ``B`` is consumed: ``B.T`` of a C-contiguous block is
     F-contiguous, so the solve happens in place and the result shares
     ``B``'s buffer. flops = r * w^2.
+
+    ``L_KK`` is forced C-contiguous first, like the solve kernels: scipy
+    routes a C-ordered triangle through a transposed ``trtrs`` and an
+    F-ordered one through the plain call, and the two round differently.
+    A diagonal block is F-ordered where it was factored (dpotrf output)
+    but C-ordered where it arrived over a link or out of an arena slot,
+    so without one canonical layout the same BDIV computes different
+    bits on different ranks.
     """
     out = sla.solve_triangular(
-        L_KK, B.T, lower=True, trans="N",
+        np.ascontiguousarray(L_KK), B.T, lower=True, trans="N",
         overwrite_b=True, check_finite=False,
     ).T
     r, w = out.shape

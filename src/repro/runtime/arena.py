@@ -17,12 +17,25 @@ header CRC covers that) surfaces as the same
 :class:`~repro.runtime.wire.CorruptFrameError` → NACK → retransmit path the
 inline transport uses.
 
-Storage: slots are row-major float64. Diagonal blocks are stored as the
-full ``w x w`` square (zero upper triangle), exactly the array the inline
-transport reconstructs in ``wire.unpack``; the *logical* payload is still
-the packed lower triangle, and descriptors charge
-``tg.block_words[b]`` words so logical byte accounting is transport
-independent.
+Storage: slots are row-major float64 and hold exactly the *logical*
+payload — ``tg.block_words[b]`` words. A subdiagonal block is the dense
+``rows x w`` rectangle; a diagonal block is the packed lower triangle
+(``w * (w + 1) / 2`` words, row-major ``np.tril_indices`` order — byte
+identical to the inline ``BLOCK`` payload ``wire.pack_block`` produces).
+Consumers never see the packed form: :meth:`BlockArena.view` /
+:meth:`BlockArena.read` / :meth:`BlockArena.resolve` unpack a diagonal
+slot into the same freshly-allocated C-contiguous zero-upper square that
+``wire.unpack`` builds on the inline transport, so kernel inputs are
+bitwise identical across transports (``solve_triangular`` rounds
+differently for C- vs F-contiguous inputs, so the layout must match, not
+just the values). Packing matters under variable blocking: square diagonal
+slots waste ``w^2 / 2`` words of dead upper triangle, a cost that grows
+quadratically with the wide panels the supernodal policy produces.
+
+Each slot starts on a :data:`SLOT_ALIGN`-byte boundary (cache-line
+alignment for the zero-copy bmod reads); the tail padding between a slot's
+payload and the next slot's offset is the arena's only dead space, and
+``ArenaLayout.padding_bytes`` reports it.
 
 Lifecycle: the driver creates the arena (:meth:`BlockArena.create`) and
 unlinks it in the engine's ``finally`` (:meth:`BlockArena.destroy`), even
@@ -45,10 +58,15 @@ __all__ = [
     "shm_available",
     "resolve_transport",
     "TRANSPORTS",
+    "SLOT_ALIGN",
 ]
 
 #: Accepted values for the engine's ``transport`` parameter.
 TRANSPORTS = ("auto", "shm", "inline")
+
+#: Every slot offset is a multiple of this (bytes). 64 = one cache line;
+#: it also keeps float64 alignment trivially satisfied.
+SLOT_ALIGN = 64
 
 _SHM_PROBED: bool | None = None
 
@@ -135,15 +153,20 @@ def _attach_untracked(name: str):
 class ArenaLayout:
     """Deterministic block -> slot map derived from a :class:`TaskGraph`.
 
-    Slot ``b`` stores the dense row-major float64 array for global block
-    ``b``: the full ``w x w`` square for a diagonal block, the stacked
-    ``rows x w`` rectangle for a subdiagonal block. ``logical_words[b]``
-    is ``tg.block_words[b]`` — what the wire contract (and the static
-    predictor) charges for the block, independent of storage.
+    Slot ``b`` stores exactly the logical payload of global block ``b``
+    (``tg.block_words[b]`` float64 words): the packed lower triangle for a
+    diagonal block, the dense row-major ``rows x w`` rectangle for a
+    subdiagonal block. ``rows``/``cols`` are the block's *logical* extents
+    (a diagonal block reports ``w x w`` even though its slot holds the
+    triangle) — they are what descriptors advertise and what consumers see
+    after unpacking. Slot offsets are :data:`SLOT_ALIGN`-aligned; the
+    widths come from the partition, so uniform and supernodal policies each
+    get a layout that fits their panels exactly.
     """
 
     __slots__ = ("nblocks", "rows", "cols", "diag", "offsets",
-                 "logical_words", "block_I", "block_J", "total_bytes")
+                 "logical_words", "block_I", "block_J", "total_bytes",
+                 "payload_bytes", "padding_bytes")
 
     def __init__(self, tg):
         part = tg.workmodel.structure.partition
@@ -153,8 +176,7 @@ class ArenaLayout:
         diag = I == J
         cols = widths[J]
         logical = np.asarray(tg.block_words, dtype=np.int64)
-        stored = np.where(diag, cols * cols, logical)
-        rows = stored // np.maximum(cols, 1)
+        rows = np.where(diag, cols, logical // np.maximum(cols, 1))
         self.nblocks = int(I.shape[0])
         self.rows = rows
         self.cols = cols
@@ -162,9 +184,13 @@ class ArenaLayout:
         self.logical_words = logical
         self.block_I = I
         self.block_J = J
+        slot_bytes = logical * 8
+        spans = -(-slot_bytes // SLOT_ALIGN) * SLOT_ALIGN  # ceil to align
         self.offsets = np.zeros(self.nblocks + 1, dtype=np.int64)
-        np.cumsum(stored * 8, out=self.offsets[1:])
+        np.cumsum(spans, out=self.offsets[1:])
         self.total_bytes = int(self.offsets[-1])
+        self.payload_bytes = int(slot_bytes.sum())
+        self.padding_bytes = self.total_bytes - self.payload_bytes
 
 
 class BlockArena:
@@ -204,34 +230,70 @@ class BlockArena:
 
     # -- slot access ----------------------------------------------------
 
-    def _view(self, b: int) -> np.ndarray:
+    def _slot(self, b: int) -> np.ndarray:
+        """Flat float64 view of slot ``b``'s stored words."""
         lay = self.layout
         return np.ndarray(
-            (int(lay.rows[b]), int(lay.cols[b])),
+            (int(lay.logical_words[b]),),
             dtype=np.float64,
             buffer=self.shm.buf,
             offset=int(lay.offsets[b]),
         )
 
+    def _dense(self, b: int) -> np.ndarray:
+        """2-D view of a subdiagonal slot (diagonal slots are packed)."""
+        lay = self.layout
+        return self._slot(b).reshape(int(lay.rows[b]), int(lay.cols[b]))
+
+    def _unpack_diag(self, b: int) -> np.ndarray:
+        """Fresh C-contiguous ``w x w`` square from a packed diagonal slot
+        — structurally identical to what ``wire.unpack`` builds for an
+        inline diagonal payload, so kernels see bitwise-equal inputs on
+        both transports."""
+        w = int(self.layout.cols[b])
+        out = np.zeros((w, w))
+        out[np.tril_indices(w)] = self._slot(b)
+        return out
+
     def write(self, b: int, array: np.ndarray) -> None:
-        """Copy a completed block into its slot (the producer's one copy)."""
-        np.copyto(self._view(b), array, casting="same_kind")
+        """Copy a completed block into its slot (the producer's one copy).
+
+        Diagonal blocks are handed over as the full square (however the
+        kernel laid it out — bfac yields Fortran order) and stored packed.
+        """
+        lay = self.layout
+        arr = np.asarray(array, dtype=np.float64)
+        if lay.diag[b]:
+            self._slot(b)[:] = arr[np.tril_indices(int(lay.cols[b]))]
+        else:
+            np.copyto(self._dense(b), arr, casting="same_kind")
 
     def view(self, b: int) -> np.ndarray:
-        """Read-only zero-copy mapping of slot ``b`` (the consumer side)."""
-        v = self._view(b)
+        """Consumer-side mapping of slot ``b``: a read-only zero-copy view
+        for subdiagonal blocks, a freshly unpacked square for diagonal
+        blocks (the packed triangle is a storage format, never a kernel
+        input)."""
+        if self.layout.diag[b]:
+            return self._unpack_diag(b)
+        v = self._dense(b)
         v.flags.writeable = False
         return v
 
     def read(self, b: int) -> np.ndarray:
-        """A private copy of slot ``b`` (driver gather; outlives the arena)."""
-        return self._view(b).copy()
+        """A private copy of block ``b`` (driver gather; outlives the
+        arena). Always the dense array: unpacked square for diagonal
+        blocks."""
+        if self.layout.diag[b]:
+            return self._unpack_diag(b)
+        return self._dense(b).copy()
 
     def checksum(self, b: int) -> int:
-        """CRC32 over slot ``b``'s bytes — the descriptor's payload CRC."""
+        """CRC32 over slot ``b``'s stored bytes — the descriptor's payload
+        CRC. Tail alignment padding is excluded, so for every block this
+        equals the CRC of the inline ``BLOCK`` payload bytes."""
         lay = self.layout
         off = int(lay.offsets[b])
-        n = int(lay.rows[b]) * int(lay.cols[b]) * 8
+        n = int(lay.logical_words[b]) * 8
         return zlib.crc32(self.shm.buf[off:off + n])
 
     # -- wire integration ----------------------------------------------
@@ -249,7 +311,10 @@ class BlockArena:
 
     def resolve(self, msg: wire.WireMessage) -> wire.WireMessage:
         """Turn a ``BLOCK_REF`` descriptor into a BLOCK message whose
-        payload is the read-only slot view.
+        payload is the consumer-side mapping of the slot (zero-copy
+        read-only view for subdiagonal blocks, unpacked square for
+        diagonal blocks — exactly what the inline transport would have
+        delivered).
 
         Raises :class:`~repro.runtime.wire.CorruptFrameError` when the
         descriptor's slot metadata disagrees with the layout or the slot
@@ -289,7 +354,7 @@ class BlockArena:
         b = msg.block
         return wire.pack_block(
             msg.src, b, int(lay.block_I[b]), int(lay.block_J[b]),
-            self._view(b),
+            self.read(b),
         )
 
     # -- lifecycle ------------------------------------------------------

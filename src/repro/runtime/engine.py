@@ -394,6 +394,9 @@ def _run(
         "checkpoint_blocks": len(checkpoint) if checkpoint else 0,
         "transport": transport,
         "schedule": schedule,
+        "block_policy": getattr(
+            structure.partition, "policy_name", "uniform"
+        ),
     }
     if rhs is not None:
         meta["nrhs"] = int(rhs.shape[1])

@@ -1275,28 +1275,13 @@ class Worker:
         kind = int(tg.task_kind[tid])
         b = int(tg.task_block[tid])
         I, J = int(tg.block_I[b]), int(tg.block_J[b])
-        # BDIV layout mimicry: solve_triangular rounds differently for C-
-        # vs F-contiguous L_KK, and the victim's copy is F-contiguous iff
-        # the victim factored it itself (bfac returns Fortran order;
-        # wire/arena copies are C order). Present the diagonal with the
-        # layout the victim would have used, restoring our own afterwards,
-        # so the stolen solve is bitwise the one the victim would compute.
-        diag_orig = None
-        if kind == BDIV:
-            dk = int(self._diag_block[J])
-            cur = self.chol.diag[J]
-            want_f = int(self.owners[dk]) == victim
-            if want_f and not cur.flags.f_contiguous:
-                diag_orig = cur
-                self.chol.diag[J] = np.asfortranarray(cur)
-            elif not want_f and not cur.flags.c_contiguous:
-                diag_orig = cur
-                self.chol.diag[J] = np.ascontiguousarray(cur)
+        # No BDIV layout juggling needed here: bdiv_kernel canonicalizes
+        # L_KK to C order itself, so our copy of the diagonal (F if we
+        # factored it, C if it came over a link or out of an arena slot)
+        # yields exactly the bits the victim would have computed.
         t0 = self._now()
         self.chol.apply_task(tg, tid)
         t1 = self._now()
-        if diag_orig is not None:
-            self.chol.diag[J] = diag_orig
         self.timeline.add("busy", t0, t1)
         m = self.metrics
         m.tasks_executed += 1

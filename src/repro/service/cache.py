@@ -9,8 +9,10 @@ layout. The cache stores one :class:`PatternEntry` per distinct pattern
 a warm job ships a values array and runs.
 
 The digest also covers the service's planning knobs (block size,
-ordering algorithm, worker count, mapping, transport) — a service
-restarted with different knobs never aliases stale entries.
+blocking policy + width clamps, ordering algorithm, worker count,
+mapping, transport, schedule) — a service restarted with different knobs
+never aliases stale entries, and uniform vs supernodal plans for the same
+pattern never collide.
 """
 
 from __future__ import annotations
@@ -63,6 +65,11 @@ class PatternEntry:
     #: ("static" | "dynamic") and the steal-victim seed for the latter.
     schedule: str = "static"
     steal_seed: int = 0
+    #: Blocking policy the entry's partition was built under ("uniform" |
+    #: "supernodal"). Informational — the digest knobs already separate
+    #: policies, so one pattern factored under both policies yields two
+    #: distinct entries (and two distinct ``seen_patterns`` residencies).
+    block_policy: str = "uniform"
     #: Assembled :class:`~repro.numeric.BlockCholesky` of the pattern's
     #: last successful factor job — the sequential fallback (and bitwise
     #: reference) for solve requests.

@@ -112,6 +112,9 @@ class FactorService:
         transport: str = "auto",
         schedule: str = "static",
         steal_seed: int = 0,
+        block_policy: str = "uniform",
+        min_width: int | None = None,
+        max_width: int | None = None,
         queue_capacity: int = 64,
         admission: str = "block",
         max_batch: int = 8,
@@ -143,6 +146,16 @@ class FactorService:
             )
         self.schedule = schedule
         self.steal_seed = int(steal_seed)
+        from repro.blocks import BLOCK_POLICIES
+
+        if block_policy not in BLOCK_POLICIES:
+            raise ValueError(
+                f"block_policy must be one of {BLOCK_POLICIES}, "
+                f"got {block_policy!r}"
+            )
+        self.block_policy = block_policy
+        self.min_width = None if min_width is None else int(min_width)
+        self.max_width = None if max_width is None else int(max_width)
         self.validate = validate
         self.max_batch = max(1, int(max_batch))
         self.batch_wait_s = float(batch_wait_s)
@@ -860,9 +873,15 @@ class FactorService:
         return entry, "miss", job.A
 
     def _knobs(self) -> tuple:
+        # Every knob that shapes an entry's symbolic plan must be here:
+        # two jobs with the same csc pattern but different knobs (e.g.
+        # uniform vs supernodal blocking) must never alias one entry.
         return (
             self.ordering,
             self.block_size,
+            self.block_policy,
+            self.min_width,
+            self.max_width,
             self.nprocs,
             self.mapping,
             self.use_domains,
@@ -873,7 +892,7 @@ class FactorService:
     def _build_entry(self, pid: str, A: sparse.csc_matrix) -> PatternEntry:
         """Cold setup: symbolic analysis, owner plan, arena — once per
         pattern."""
-        from repro.blocks import BlockPartition, BlockStructure, WorkModel
+        from repro.blocks import BlockStructure, WorkModel, make_partition
         from repro.fanout import TaskGraph
         from repro.runtime.engine import plan_owners
         from repro.solver import SparseCholesky
@@ -881,7 +900,13 @@ class FactorService:
 
         perm = SparseCholesky._resolve_ordering(A, self.ordering)
         symbolic = symbolic_factor(A, perm)
-        structure = BlockStructure(BlockPartition(symbolic, self.block_size))
+        structure = BlockStructure(make_partition(
+            symbolic,
+            block_policy=self.block_policy,
+            block_size=self.block_size,
+            min_width=self.min_width,
+            max_width=self.max_width,
+        ))
         wm = WorkModel(structure)
         tg = TaskGraph(wm)
         owners, name = plan_owners(
@@ -903,6 +928,7 @@ class FactorService:
             arena=arena,
             schedule=self.schedule,
             steal_seed=self.steal_seed,
+            block_policy=self.block_policy,
         )
 
     def _job_values(self, job, entry: PatternEntry, A_full) -> np.ndarray:

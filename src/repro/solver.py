@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
-from repro.blocks import BlockPartition, BlockStructure, WorkModel
+from repro.blocks import BlockStructure, WorkModel, make_partition
 from repro.fanout import TaskGraph, assign_domains, block_owners, run_fanout
 from repro.graph.adjacency import AdjacencyGraph
 from repro.machine.params import PARAGON, MachineParams
@@ -66,7 +66,16 @@ class SparseCholesky:
         bounded degree — else minimum degree), ``"nd"``, ``"mmd"``,
         ``"natural"``, or an explicit permutation array.
     block_size:
-        Panel width B (default 48, the paper's choice).
+        Panel width B (default 48, the paper's choice). Under
+        ``block_policy="supernodal"`` it only seeds the default
+        ``max_width`` (``2 * block_size``).
+    block_policy:
+        ``"uniform"`` (default — fixed-width panels) or ``"supernodal"``
+        (structure-aware variable panels that follow supernode widths,
+        clamped to ``[min_width, max_width]``; see ``docs/BLOCKING.md``).
+    min_width, max_width:
+        Clamps for the supernodal policy (defaults 16 and
+        ``2 * block_size``). Ignored under ``"uniform"``.
     backend:
         ``"sequential"`` (default), ``"threads"`` (shared-memory thread
         pool), ``"mp"`` (real message-passing worker processes), or
@@ -138,6 +147,9 @@ class SparseCholesky:
         steal_seed: int = 0,
         service=None,
         deadline_s: float | None = None,
+        block_policy: str = "uniform",
+        min_width: int | None = None,
+        max_width: int | None = None,
     ):
         A = A.tocsc()
         if A.shape[0] != A.shape[1]:
@@ -192,7 +204,17 @@ class SparseCholesky:
         self.failure_report = None
         perm = self._resolve_ordering(A, ordering)
         self.symbolic = symbolic_factor(A, perm)
-        self.partition = BlockPartition(self.symbolic, block_size)
+        #: Blocking policy: "uniform" panels of ``block_size`` or
+        #: "supernodal" structure-following panels clamped to
+        #: ``[min_width, max_width]`` (see ``docs/BLOCKING.md``).
+        self.block_policy = block_policy
+        self.partition = make_partition(
+            self.symbolic,
+            block_policy=block_policy,
+            block_size=block_size,
+            min_width=min_width,
+            max_width=max_width,
+        )
         self.structure = BlockStructure(self.partition)
         self.workmodel = WorkModel(self.structure)
         self._taskgraph: TaskGraph | None = None

@@ -11,6 +11,7 @@ from repro.analysis.comm_volume import communication_volume
 from repro.analysis.trace_replay import validate_trace
 from repro.runtime import wire
 from repro.runtime.arena import (
+    SLOT_ALIGN,
     TRANSPORTS,
     ArenaLayout,
     BlockArena,
@@ -93,7 +94,7 @@ class TestBlockRefWire:
 # Arena layout and slot integrity
 # ----------------------------------------------------------------------
 class TestArenaLayout:
-    def test_slots_disjoint_and_shaped(self, grid12_pipeline):
+    def test_slots_disjoint_aligned_and_packed(self, grid12_pipeline):
         _, _, part, _, _, tg = grid12_pipeline
         lay = ArenaLayout(tg)
         assert lay.nblocks == tg.nblocks
@@ -102,10 +103,16 @@ class TestArenaLayout:
             assert lay.cols[b] == widths[tg.block_J[b]]
             if lay.diag[b]:
                 assert lay.rows[b] == lay.cols[b]
-            assert lay.offsets[b + 1] - lay.offsets[b] == (
-                lay.rows[b] * lay.cols[b] * 8
-            )
+            # Slots store exactly the logical words (packed triangle for
+            # diagonal blocks), start cache-line aligned, and never overlap.
+            assert lay.offsets[b] % SLOT_ALIGN == 0
+            span = lay.offsets[b + 1] - lay.offsets[b]
+            assert span >= lay.logical_words[b] * 8
+            assert span - lay.logical_words[b] * 8 < SLOT_ALIGN
         assert lay.total_bytes == int(lay.offsets[-1])
+        assert lay.payload_bytes == int(lay.logical_words.sum()) * 8
+        assert lay.padding_bytes == lay.total_bytes - lay.payload_bytes
+        assert 0 <= lay.padding_bytes < lay.nblocks * SLOT_ALIGN
 
     def test_logical_words_match_taskgraph(self, grid12_pipeline):
         _, _, _, _, _, tg = grid12_pipeline
@@ -134,6 +141,30 @@ class TestBlockArena:
             assert resolved.nbytes == wire.HEADER_BYTES + 8 * int(
                 tg.block_words[b]
             )
+        finally:
+            arena.destroy()
+
+    def test_diag_roundtrip_matches_inline_unpack(self, grid12_pipeline):
+        """Diagonal slots store the packed triangle but consumers get the
+        same C-contiguous zero-upper square the inline transport builds."""
+        _, _, _, _, _, tg = grid12_pipeline
+        arena = BlockArena.create(tg)
+        try:
+            lay = arena.layout
+            b = int(np.flatnonzero(lay.diag)[0])
+            w = int(lay.cols[b])
+            rng = np.random.default_rng(7)
+            # bfac hands the arena an F-contiguous square; storage packs it.
+            arr = np.asfortranarray(np.tril(rng.random((w, w))))
+            arena.write(b, arr)
+            got = arena.resolve(wire.unpack(arena.pack_ref(1, b))).payload
+            inline = wire.unpack(
+                wire.pack_block(1, b, int(lay.block_I[b]),
+                                int(lay.block_J[b]), arr)
+            ).payload
+            assert got.flags.c_contiguous
+            assert got.tobytes() == inline.tobytes()
+            np.testing.assert_array_equal(arena.read(b), inline)
         finally:
             arena.destroy()
 
